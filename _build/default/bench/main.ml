@@ -1,0 +1,236 @@
+(* The reproduction harness.
+
+   Running this executable regenerates every quantitative claim of the
+   paper (Table 1 lower and upper bounds, the universal bound, the EDF
+   observations and both local strategies; see DESIGN.md §3 for the
+   index), preceded by Bechamel micro-benchmarks of the machinery —
+   one Test.make per experiment family.
+
+   Flags:
+     --quick     small parameters (the test suite's sizes)
+     --no-micro  skip the Bechamel timing runs
+     --only ID   run a single experiment (by id prefix, e.g. T1.fix)
+     --csv DIR   also write each experiment table as DIR/<id>.csv *)
+
+open Bechamel
+open Toolkit
+
+let flag name = Array.exists (( = ) name) Sys.argv
+
+let string_flag name =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let only_filter () = string_flag "--only"
+
+(* ------------------------------------------------------------------ *)
+(* micro-benchmarks *)
+
+let thm21_instance =
+  lazy (Adversary.Thm21.make ~d:4 ~phases:3).Adversary.Scenario.instance
+
+let thm23_instance =
+  lazy (Adversary.Thm23.make ~d:4 ~phases:3).Adversary.Scenario.instance
+
+let random_instance =
+  lazy
+    (let rng = Prelude.Rng.create ~seed:7 in
+     Adversary.Random_workload.make ~rng ~n:8 ~d:4 ~rounds:60 ~load:1.1 ())
+
+let micro_tests () =
+  let run_strategy inst factory () =
+    ignore (Sched.Engine.run (Lazy.force inst) factory : Sched.Outcome.t)
+  in
+  [
+    (* Table 1 rows 1-2: the frozen-assignment solver *)
+    Test.make ~name:"T1.fix/engine-run-thm2.1"
+      (Staged.stage (fun () ->
+           run_strategy thm21_instance (Strategies.Global.fix ()) ()));
+    (* Table 1 rows 3-5: the tiered full-reschedule solver *)
+    Test.make ~name:"T1.balance/engine-run-thm2.3"
+      (Staged.stage (fun () ->
+           run_strategy thm23_instance (Strategies.Global.balance ()) ()));
+    (* Table 1 row 6: one adaptive phase *)
+    Test.make ~name:"T1.any/adaptive-thm2.6"
+      (Staged.stage (fun () ->
+           let adv = Adversary.Thm26.create ~d:3 ~phases:1 in
+           ignore
+             (Sched.Engine.run_adaptive ~n:Adversary.Thm26.n_resources ~d:3
+                ~last_arrival_round:3
+                ~adversary:(Adversary.Thm26.adversary adv)
+                (Strategies.Global.eager ())
+               : Sched.Outcome.t)));
+    (* offline optimum engines used by every experiment *)
+    Test.make ~name:"OPT/grouped-maxflow"
+      (Staged.stage (fun () ->
+           ignore (Offline.Opt.grouped (Lazy.force thm21_instance) : int)));
+    Test.make ~name:"OPT/hopcroft-karp"
+      (Staged.stage (fun () ->
+           ignore (Offline.Opt.expanded (Lazy.force random_instance) : int)));
+    (* local strategies over the message-passing simulator *)
+    Test.make ~name:"E.local/local-eager-run"
+      (Staged.stage (fun () ->
+           run_strategy random_instance (Localstrat.Local.eager ()) ()));
+    (* the EDF baseline of the average-case figure *)
+    Test.make ~name:"F.avgcase/edf-run"
+      (Staged.stage (fun () ->
+           run_strategy random_instance (Strategies.Edf.independent ()) ()));
+    (* the greedy baselines of F.greedy *)
+    Test.make ~name:"F.greedy/twochoice-run"
+      (Staged.stage (fun () ->
+           run_strategy random_instance
+             (Strategies.Twochoice.least_loaded ())
+             ()));
+    (* trace generation for F.placement *)
+    Test.make ~name:"F.placement/session-trace"
+      (Staged.stage (fun () ->
+           let rng = Prelude.Rng.create ~seed:11 in
+           let placement =
+             Dataserver.Placement.random ~rng ~disks:8 ~items:100 ~copies:2
+           in
+           ignore
+             (Dataserver.Trace.sessions ~rng ~placement ~rounds:60
+                ~arrivals_per_round:1.5 ~mean_length:5 ~d:4 ()
+               : Sched.Instance.t * Dataserver.Trace.session_stats)));
+    (* the Hall capacity bound used as an analytic cross-check *)
+    Test.make ~name:"OPT/hall-bound"
+      (Staged.stage (fun () ->
+           ignore
+             (Analysis.Hall.opt_upper_bound (Lazy.force random_instance)
+               : int)));
+  ]
+
+(* A direct scaling table: microseconds per engine round as the system
+   grows -- the systems-facing cost model of the matching strategies. *)
+let run_scale ~quick =
+  let shapes =
+    if quick then [ (4, 2); (8, 4) ]
+    else [ (4, 2); (8, 4); (16, 4); (16, 8); (32, 8) ]
+  in
+  let table =
+    Prelude.Texttable.create
+      ~title:
+        "B.scale  --  engine cost per round vs system size (random load \
+         1.1, mean over the run)"
+      ~header:
+        [ "n"; "d"; "requests"; "A_fix us/round"; "A_balance us/round";
+          "A_local_eager us/round" ]
+      ()
+  in
+  List.iter
+    (fun (n, d) ->
+       let rng = Prelude.Rng.create ~seed:21 in
+       let rounds = if quick then 40 else 100 in
+       let inst =
+         Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load:1.1 ()
+       in
+       let time factory =
+         let t0 = Unix.gettimeofday () in
+         ignore (Sched.Engine.run inst factory : Sched.Outcome.t);
+         (Unix.gettimeofday () -. t0)
+         *. 1e6
+         /. float_of_int inst.Sched.Instance.horizon
+       in
+       table
+       |> fun tbl ->
+       Prelude.Texttable.add_row tbl
+         [
+           string_of_int n;
+           string_of_int d;
+           string_of_int (Sched.Instance.n_requests inst);
+           Printf.sprintf "%.1f" (time (Strategies.Global.fix ()));
+           Printf.sprintf "%.1f" (time (Strategies.Global.balance ()));
+           Printf.sprintf "%.1f" (time (Localstrat.Local.eager ()));
+         ])
+    shapes;
+  Prelude.Texttable.print table;
+  print_newline ()
+
+let run_micro () =
+  let tests = Test.make_grouped ~name:"reqsched" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Prelude.Texttable.create ~title:"B.micro  --  machinery timings"
+      ~header:[ "benchmark"; "time per run"; "r^2" ] ()
+  in
+  Prelude.Texttable.set_align table
+    [ Prelude.Texttable.Left; Prelude.Texttable.Right; Prelude.Texttable.Right ];
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  in
+  List.iter
+    (fun (name, ols) ->
+       let ns =
+         match Analyze.OLS.estimates ols with
+         | Some (t :: _) -> t
+         | Some [] | None -> nan
+       in
+       let cell =
+         if Float.is_nan ns then "-"
+         else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+         else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+         else Printf.sprintf "%.3f us" (ns /. 1e3)
+       in
+       let r2 =
+         match Analyze.OLS.r_square ols with
+         | Some r -> Printf.sprintf "%.4f" r
+         | None -> "-"
+       in
+       Prelude.Texttable.add_row table [ name; cell; r2 ])
+    (List.sort compare rows);
+  Prelude.Texttable.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = flag "--quick" in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "reqsched reproduction harness -- Berenbrink, Riedel, Scheideler (SPAA \
+     1999)\nmode: %s\n\n%!"
+    (if quick then "quick" else "full");
+  if not (flag "--no-micro") then begin
+    run_micro ();
+    run_scale ~quick
+  end;
+  let catalog =
+    match only_filter () with
+    | None -> Report.Experiments.catalog
+    | Some prefix ->
+      List.filter
+        (fun (id, _) ->
+           String.length id >= String.length prefix
+           && String.sub id 0 (String.length prefix) = prefix)
+        Report.Experiments.catalog
+  in
+  let experiments = List.map (fun (_, f) -> f ~quick) catalog in
+  let csv_dir = string_flag "--csv" in
+  (match csv_dir with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | Some _ | None -> ());
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Report.Experiments.t) ->
+       print_string (Report.Experiments.render e);
+       (match csv_dir with
+        | Some dir ->
+          Report.Export.write_file
+            ~path:(Filename.concat dir (e.id ^ ".csv"))
+            (Report.Export.csv_of_table e.table)
+        | None -> ());
+       List.iter (fun (_, ok) -> if not ok then incr failures) e.checks)
+    experiments;
+  Printf.printf "total: %d experiments, %d failed checks, %.1f s\n"
+    (List.length experiments) !failures
+    (Unix.gettimeofday () -. t0);
+  if !failures > 0 then exit 1

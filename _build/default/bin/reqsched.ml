@@ -1,0 +1,425 @@
+(* The reqsched command line.
+
+   Subcommands:
+     run      run one strategy on a workload and print the outcome
+     compare  run every strategy on one workload
+     exp      run reproduction experiments by id
+     table1   print the paper's Table 1 bounds for a given d
+     trace    round-by-round trace of a strategy on a small workload *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let d_arg =
+  let doc = "Deadline d (each request must be served within d rounds)." in
+  Arg.(value & opt int 4 & info [ "d"; "deadline" ] ~docv:"D" ~doc)
+
+let n_arg =
+  let doc = "Number of resources." in
+  Arg.(value & opt int 8 & info [ "n"; "resources" ] ~docv:"N" ~doc)
+
+let rounds_arg =
+  let doc = "Number of arrival rounds for random workloads." in
+  Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"ROUNDS" ~doc)
+
+let load_arg =
+  let doc = "Mean arrivals per round divided by n (1.0 saturates)." in
+  Arg.(value & opt float 1.1 & info [ "load" ] ~docv:"LOAD" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (runs are fully deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let strategy_names =
+  [
+    "fix"; "current"; "fix_balance"; "eager"; "balance"; "edf"; "edf_coord";
+    "local_fix"; "local_eager"; "greedy_2choice"; "greedy_random";
+    "greedy_firstfit";
+  ]
+
+let strategy_arg =
+  let doc =
+    Printf.sprintf "Strategy: one of %s." (String.concat ", " strategy_names)
+  in
+  Arg.(value & opt string "balance" & info [ "s"; "strategy" ] ~docv:"S" ~doc)
+
+let workload_arg =
+  let doc =
+    "Workload: uniform, zipf, bursty, or a theorem adversary (thm21, thm22, \
+     thm23, thm24, thm25, thm37)."
+  in
+  Arg.(value & opt string "uniform" & info [ "w"; "workload" ] ~docv:"W" ~doc)
+
+let factory_of_name name =
+  match name with
+  | "fix" -> Ok (Strategies.Global.fix ())
+  | "current" -> Ok (Strategies.Global.current ())
+  | "fix_balance" -> Ok (Strategies.Global.fix_balance ())
+  | "eager" -> Ok (Strategies.Global.eager ())
+  | "balance" -> Ok (Strategies.Global.balance ())
+  | "edf" -> Ok (Strategies.Edf.independent ())
+  | "edf_coord" -> Ok (Strategies.Edf.coordinated ())
+  | "local_fix" -> Ok (Localstrat.Local.fix ())
+  | "local_eager" -> Ok (Localstrat.Local.eager ())
+  | "greedy_2choice" -> Ok (Strategies.Twochoice.least_loaded ())
+  | "greedy_random" ->
+    Ok (Strategies.Twochoice.random_choice
+          ~rng:(Prelude.Rng.create ~seed:0) ())
+  | "greedy_firstfit" -> Ok (Strategies.Twochoice.first_fit ())
+  | other -> Error (Printf.sprintf "unknown strategy %S" other)
+
+(* A workload either fixes its own scenario (theorem adversaries) or is
+   generated from the CLI's size parameters. *)
+let instance_of_workload ~name ~n ~d ~rounds ~load ~seed =
+  let rng = Prelude.Rng.create ~seed in
+  let random profile =
+    Ok
+      (Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load ?profile ())
+  in
+  let phases = max 1 (rounds / max 1 d) in
+  match name with
+  | "uniform" -> random None
+  | "zipf" -> random (Some (Adversary.Random_workload.Zipf 1.2))
+  | "bursty" ->
+    random
+      (Some
+         (Adversary.Random_workload.Bursty
+            { period = 20; duty = 0.3; peak = 2.5 }))
+  | "thm21" -> Ok (Adversary.Thm21.make ~d ~phases).instance
+  | "thm22" ->
+    (try Ok (Adversary.Thm22.make ~ell:4 ~d ~phases).instance
+     with Invalid_argument m -> Error m)
+  | "thm23" ->
+    (try Ok (Adversary.Thm23.make ~d ~phases).instance
+     with Invalid_argument m -> Error m)
+  | "thm24" ->
+    (try Ok (Adversary.Thm24.make ~d ~phases).instance
+     with Invalid_argument m -> Error m)
+  | "thm25" ->
+    (try Ok (Adversary.Thm25.make ~d ~groups:3 ~intervals:phases).instance
+     with Invalid_argument m -> Error m)
+  | "thm37" -> Ok (fst (Adversary.Thm37.make ~d ~intervals:phases)).instance
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let print_outcome_summary (r : Report.Harness.run) =
+  let o = r.outcome in
+  Printf.printf "strategy : %s\n" o.strategy_name;
+  Printf.printf "instance : %s\n"
+    (Format.asprintf "%a" Sched.Instance.pp_summary o.instance);
+  Printf.printf "served   : %d / %d (wasted services: %d)\n" o.served
+    (Sched.Instance.n_requests o.instance)
+    o.wasted;
+  Printf.printf "optimum  : %d\n" r.opt;
+  Printf.printf "ratio    : %.4f\n" r.ratio
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let action strategy workload n d rounds load seed audit csv phases =
+    match factory_of_name strategy with
+    | Error m -> `Error (false, m)
+    | Ok factory ->
+      (match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
+       | Error m -> `Error (false, m)
+       | Ok inst ->
+         let r = Report.Harness.run_instance inst factory in
+         print_outcome_summary r;
+         if audit then begin
+           let a = Analysis.Audit.of_outcome r.outcome in
+           Printf.printf "audit    : %s\n"
+             (Format.asprintf "%a" Analysis.Audit.pp a)
+         end;
+         (match phases with
+          | Some period when period >= 1 ->
+            List.iter
+              (fun w ->
+                 Printf.printf "window   : %s\n"
+                   (Format.asprintf "%a" Analysis.Ledger.pp w))
+              (Analysis.Ledger.by_window r.outcome ~period);
+            (match Analysis.Ledger.steady_state r.outcome ~period with
+             | Some (arrived, served) ->
+               Printf.printf
+                 "steady   : %d arrived / %d served per window\n" arrived
+                 served
+             | None -> Printf.printf "steady   : no steady state\n")
+          | Some _ | None -> ());
+         (match csv with
+          | Some path ->
+            Report.Export.write_file ~path
+              (Report.Export.csv_of_outcome r.outcome);
+            Printf.printf "csv      : wrote %s\n" path
+          | None -> ());
+         `Ok ())
+  in
+  let audit_arg =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Also print the augmenting-path census against the optimum.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write the per-request outcome as CSV to $(docv).")
+  in
+  let phases_arg =
+    Arg.(value & opt (some int) None
+         & info [ "phases" ] ~docv:"PERIOD"
+             ~doc:"Print per-window accounting with the given period \
+                   (rounds) and the steady state if one exists.")
+  in
+  let term =
+    Term.(ret (const action $ strategy_arg $ workload_arg $ n_arg $ d_arg
+               $ rounds_arg $ load_arg $ seed_arg $ audit_arg $ csv_arg
+               $ phases_arg))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one strategy on a workload.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_cmd =
+  let action workload n d rounds load seed =
+    match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
+    | Error m -> `Error (false, m)
+    | Ok inst ->
+      let opt = Offline.Opt.value inst in
+      let table =
+        Prelude.Texttable.create
+          ~title:
+            (Printf.sprintf "workload %s: %s; optimum %d" workload
+               (Format.asprintf "%a" Sched.Instance.pp_summary inst)
+               opt)
+          ~header:[ "strategy"; "served"; "wasted"; "ratio" ] ()
+      in
+      List.iter
+        (fun name ->
+           match factory_of_name name with
+           | Error _ -> ()
+           | Ok factory ->
+             let o = Sched.Engine.run inst factory in
+             Prelude.Texttable.add_row table
+               [
+                 name;
+                 string_of_int o.served;
+                 string_of_int o.wasted;
+                 Prelude.Texttable.cell_ratio
+                   (float_of_int opt /. float_of_int (max 1 o.served));
+               ])
+        strategy_names;
+      Prelude.Texttable.print table;
+      `Ok ()
+  in
+  let term =
+    Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
+               $ load_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every strategy on one workload.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* exp *)
+
+let exp_cmd =
+  let action id quick =
+    let matches =
+      if id = "all" then Report.Experiments.catalog
+      else
+        List.filter
+          (fun (eid, _) ->
+             String.length eid >= String.length id
+             && String.sub eid 0 (String.length id) = id)
+          Report.Experiments.catalog
+    in
+    if matches = [] then
+      `Error
+        ( false,
+          Printf.sprintf "no experiment matches %S; known ids: %s" id
+            (String.concat ", " (List.map fst Report.Experiments.catalog)) )
+    else begin
+      let failures = ref 0 in
+      List.iter
+        (fun (_, f) ->
+           let e = f ~quick in
+           print_string (Report.Experiments.render e);
+           List.iter
+             (fun (_, ok) -> if not ok then incr failures)
+             e.Report.Experiments.checks)
+        matches;
+      if !failures = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "%d failed checks" !failures)
+    end
+  in
+  let id_arg =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"ID" ~doc:"Experiment id prefix, or 'all'.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small parameters.")
+  in
+  let term = Term.(ret (const action $ id_arg $ quick_arg)) in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run reproduction experiments (DESIGN.md §3).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* table1 *)
+
+let table1_cmd =
+  let action d =
+    if d < 2 then `Error (false, "d must be >= 2")
+    else begin
+      let table =
+        Prelude.Texttable.create
+          ~title:(Printf.sprintf "Paper Table 1 bounds at d = %d" d)
+          ~header:[ "strategy"; "lower bound"; "upper bound" ] ()
+      in
+      List.iter
+        (fun (name, lb, ub) ->
+           let cell = function
+             | Some r -> Report.Harness.rat_cell r
+             | None -> "-"
+           in
+           Prelude.Texttable.add_row table [ name; cell lb; cell ub ])
+        (Analysis.Bounds.table1 ~d);
+      Prelude.Texttable.print table;
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const action $ d_arg)) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the paper's Table 1 bounds for a given d.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd =
+  let action workload n d rounds seed =
+    let loads = [ 0.5; 0.7; 0.9; 1.0; 1.1; 1.3; 1.5; 2.0 ] in
+    let strategies =
+      [ "fix"; "balance"; "edf"; "local_eager"; "greedy_2choice" ]
+    in
+    let table =
+      Prelude.Texttable.create
+        ~title:
+          (Printf.sprintf
+             "competitive ratio vs load (workload %s, n=%d, d=%d, %d rounds)"
+             workload n d rounds)
+        ~header:("load" :: "optimum" :: strategies)
+        ()
+    in
+    let ok = ref true in
+    List.iter
+      (fun load ->
+         match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed
+         with
+         | Error m ->
+           ok := false;
+           prerr_endline m
+         | Ok inst ->
+           let opt = Offline.Opt.value inst in
+           let cells =
+             List.map
+               (fun sname ->
+                  match factory_of_name sname with
+                  | Error _ -> "-"
+                  | Ok factory ->
+                    let o = Sched.Engine.run inst factory in
+                    Prelude.Texttable.cell_ratio
+                      (float_of_int opt /. float_of_int (max 1 o.served)))
+               strategies
+           in
+           Prelude.Texttable.add_row table
+             (Printf.sprintf "%.1f" load :: string_of_int opt :: cells))
+      loads;
+    if !ok then begin
+      Prelude.Texttable.print table;
+      `Ok ()
+    end
+    else `Error (false, "sweep failed")
+  in
+  let term =
+    Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
+               $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Competitive ratio of representative strategies across loads.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let action strategy workload n d rounds load seed grid =
+    match factory_of_name strategy with
+    | Error m -> `Error (false, m)
+    | Ok factory ->
+      (match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
+       | Error m -> `Error (false, m)
+       | Ok inst ->
+         let o = Sched.Engine.run inst factory in
+         if grid then begin
+           print_string (Report.Gantt.render_with_failures o);
+           print_newline ()
+         end;
+         let by_round = Hashtbl.create 64 in
+         Array.iteri
+           (fun id sv ->
+              match sv with
+              | None -> ()
+              | Some (res, round) ->
+                Hashtbl.replace by_round round
+                  ((id, res)
+                   :: Option.value ~default:[]
+                        (Hashtbl.find_opt by_round round)))
+           o.served_at;
+         for round = 0 to inst.Sched.Instance.horizon - 1 do
+           let arrivals = Sched.Instance.arrivals_at inst round in
+           let served =
+             List.sort compare
+               (Option.value ~default:[] (Hashtbl.find_opt by_round round))
+           in
+           Printf.printf "round %3d | arrivals:%3d | served: %s\n" round
+             (Array.length arrivals)
+             (String.concat " "
+                (List.map
+                   (fun (id, res) -> Printf.sprintf "r%d@S%d" id res)
+                   served))
+         done;
+         Printf.printf "%s\n"
+           (Format.asprintf "%a" Sched.Outcome.pp_summary o);
+         `Ok ())
+  in
+  let grid_arg =
+    Arg.(value & flag
+         & info [ "grid" ]
+             ~doc:"Also draw the schedule as an ASCII occupancy chart.")
+  in
+  let term =
+    Term.(ret (const action $ strategy_arg $ workload_arg $ n_arg $ d_arg
+               $ rounds_arg $ load_arg $ seed_arg $ grid_arg))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Round-by-round service trace of a strategy on a workload.")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "Competitive online request scheduling with deadlines and two choices \
+     (reproduction of Berenbrink, Riedel, Scheideler; SPAA 1999)."
+  in
+  let info = Cmd.info "reqsched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; compare_cmd; exp_cmd; table1_cmd; trace_cmd; sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversary_gallery.ml: Adversary List Localstrat Offline Prelude Printf Report Sched Strategies

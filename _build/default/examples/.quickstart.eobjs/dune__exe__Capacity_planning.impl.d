@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Adversary List Localstrat Prelude Printf Sched Strategies

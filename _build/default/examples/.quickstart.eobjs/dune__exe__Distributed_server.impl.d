@@ -1,0 +1,1 @@
+examples/distributed_server.ml: Adversary Localstrat Offline Prelude Printf Sched Strategies

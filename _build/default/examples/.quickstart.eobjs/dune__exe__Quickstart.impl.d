@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Format List Offline Prelude Sched Strategies

@@ -1,0 +1,1 @@
+examples/video_on_demand.ml: Array List Localstrat Offline Prelude Printf Sched Strategies

@@ -1,0 +1,92 @@
+(* Capacity planning: using the simulator to answer an operator's
+   question.
+
+   "How much load can this server take before it drops more than p% of
+   requests?"  The worst-case bounds of the paper answer conservatively
+   (a 4/3-competitive scheduler may lose 25% against an adversary); the
+   simulator answers for the traffic you actually expect.  This example
+   binary-searches the highest sustainable load for a loss SLO under
+   Zipf traffic, for three schedulers of very different cost:
+
+     - A_balance      (the paper's best global strategy; a matching per round)
+     - A_local_eager  (distributed, 9 communication rounds per round)
+     - greedy 2-choice (O(1) per request, the balls-into-bins heuristic)
+
+     dune exec examples/capacity_planning.exe *)
+
+module Rng = Prelude.Rng
+
+let n = 10
+let d = 4
+let rounds = 400
+let slo = 0.01 (* at most 1% of requests lost *)
+
+let loss_at ~factory ~load =
+  (* mean over a few seeds to smooth Poisson noise *)
+  let seeds = [ 1; 2; 3 ] in
+  let losses =
+    Prelude.Parmap.map
+      (fun seed ->
+         let rng = Rng.create ~seed in
+         let inst =
+           Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load
+             ~profile:(Adversary.Random_workload.Zipf 1.1) ()
+         in
+         let o = Sched.Engine.run inst (factory ()) in
+         let total = Sched.Instance.n_requests inst in
+         if total = 0 then 0.0
+         else float_of_int (Sched.Outcome.failed o) /. float_of_int total)
+      seeds
+  in
+  List.fold_left ( +. ) 0.0 losses /. float_of_int (List.length losses)
+
+(* highest load with loss <= slo, by bisection on [lo, hi] *)
+let max_sustainable ~factory =
+  let rec bisect lo hi iters =
+    if iters = 0 then lo
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if loss_at ~factory ~load:mid <= slo then bisect mid hi (iters - 1)
+      else bisect lo mid (iters - 1)
+    end
+  in
+  bisect 0.5 1.5 10
+
+let () =
+  Printf.printf
+    "Capacity planning: %d disks, d=%d, Zipf(1.1) traffic, SLO: <= %.0f%% \
+     loss\n\n"
+    n d (100.0 *. slo);
+  let table =
+    Prelude.Texttable.create
+      ~header:
+        [ "scheduler"; "max sustainable load"; "loss at load 1.0";
+          "loss at load 1.2" ]
+      ()
+  in
+  List.iter
+    (fun (name, factory) ->
+       let cap = max_sustainable ~factory in
+       let l10 = loss_at ~factory ~load:1.0 in
+       let l12 = loss_at ~factory ~load:1.2 in
+       Prelude.Texttable.add_row table
+         [
+           name;
+           Printf.sprintf "%.3f" cap;
+           Printf.sprintf "%.2f%%" (100.0 *. l10);
+           Printf.sprintf "%.2f%%" (100.0 *. l12);
+         ])
+    [
+      ("A_balance", fun () -> Strategies.Global.balance ());
+      ("A_local_eager", fun () -> Localstrat.Local.eager ());
+      ("greedy 2-choice", fun () -> Strategies.Twochoice.least_loaded ());
+      ("EDF (uncoordinated)", fun () -> Strategies.Edf.independent ());
+    ];
+  Prelude.Texttable.print table;
+  print_newline ();
+  print_endline
+    "Reading: the matching-based scheduler and the O(1) two-choice greedy \
+     sustain nearly the same load under stochastic traffic -- the paper's \
+     competitive gaps only open up against adversarial correlation -- while \
+     uncoordinated EDF burns capacity on duplicate services and saturates \
+     far earlier."

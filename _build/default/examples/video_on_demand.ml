@@ -1,0 +1,140 @@
+(* Video-on-demand: the application that motivates the paper.
+
+   A movie catalogue is striped over a disk farm with two replicas per
+   title on distinct disks (the "random duplicated assignment" of
+   [Kor97]).  Clients request titles with Zipf popularity — a few
+   blockbusters dominate — and every request must start streaming
+   within d rounds or the client walks away.
+
+   The experiment answers two questions the introduction raises:
+     1. how much does the second replica buy over a single copy?
+     2. how far apart are the paper's strategies on a realistic
+        (non-adversarial) workload?
+
+     dune exec examples/video_on_demand.exe *)
+
+module Rng = Prelude.Rng
+
+let n_disks = 12
+let n_titles = 300
+let deadline = 5
+let rounds = 400
+let zipf_s = 1.1
+
+(* Replica placement: two distinct uniformly random disks per title. *)
+let placement rng ~copies =
+  Array.init n_titles (fun _ ->
+      let rec pick acc k =
+        if k = 0 then acc
+        else begin
+          let disk = Rng.int rng n_disks in
+          if List.mem disk acc then pick acc k
+          else pick (acc @ [ disk ]) (k - 1)
+        end
+      in
+      pick [] copies)
+
+let workload rng ~load ~copies =
+  let disks_of_title = placement rng ~copies in
+  let protos = ref [] in
+  for round = 0 to rounds - 1 do
+    let arrivals =
+      Rng.poisson rng ~lambda:(load *. float_of_int n_disks)
+    in
+    for _ = 1 to arrivals do
+      let title = Rng.zipf rng ~n:n_titles ~s:zipf_s in
+      protos :=
+        Sched.Request.make ~arrival:round
+          ~alternatives:disks_of_title.(title) ~deadline
+        :: !protos
+    done
+  done;
+  Sched.Instance.build ~n_resources:n_disks ~d:deadline (List.rev !protos)
+
+let strategies =
+  [
+    ("A_fix", fun () -> Strategies.Global.fix ());
+    ("A_current", fun () -> Strategies.Global.current ());
+    ("A_fix_balance", fun () -> Strategies.Global.fix_balance ());
+    ("A_eager", fun () -> Strategies.Global.eager ());
+    ("A_balance", fun () -> Strategies.Global.balance ());
+    ("EDF (uncoordinated)", fun () -> Strategies.Edf.independent ());
+    ("A_local_fix", fun () -> Localstrat.Local.fix ());
+    ("A_local_eager", fun () -> Localstrat.Local.eager ());
+  ]
+
+let () =
+  let loads = [ 0.7; 0.9; 1.1 ] in
+  (* Question 1: one replica vs two.  With a single copy the scheduler
+     has no freedom at all; hot titles overload their disk. *)
+  let table1 =
+    Prelude.Texttable.create
+      ~title:
+        (Printf.sprintf
+           "VoD farm: %d disks, %d titles, Zipf(%.1f) popularity, d=%d -- \
+            accepted streams / optimum (A_balance scheduler)"
+           n_disks n_titles zipf_s deadline)
+      ~header:[ "load"; "1 replica"; "2 replicas"; "optimum (2 replicas)" ]
+      ()
+  in
+  List.iter
+    (fun load ->
+       let one_copy =
+         let rng = Rng.create ~seed:100 in
+         workload rng ~load ~copies:1
+       in
+       let two_copies =
+         let rng = Rng.create ~seed:100 in
+         workload rng ~load ~copies:2
+       in
+       let served inst =
+         (Sched.Engine.run inst (Strategies.Global.balance ())).served
+       in
+       Prelude.Texttable.add_row table1
+         [
+           Printf.sprintf "%.1f" load;
+           Printf.sprintf "%d / %d" (served one_copy)
+             (Sched.Instance.n_requests one_copy);
+           Printf.sprintf "%d / %d" (served two_copies)
+             (Sched.Instance.n_requests two_copies);
+           string_of_int (Offline.Opt.value two_copies);
+         ])
+    loads;
+  Prelude.Texttable.print table1;
+  print_newline ();
+
+  (* Question 2: strategy comparison on the two-replica farm at high
+     load. *)
+  let inst =
+    let rng = Rng.create ~seed:100 in
+    workload rng ~load:1.1 ~copies:2
+  in
+  let opt = Offline.Opt.value inst in
+  let table2 =
+    Prelude.Texttable.create
+      ~title:
+        (Printf.sprintf
+           "strategy comparison at load 1.1 (total %d, optimum %d)"
+           (Sched.Instance.n_requests inst)
+           opt)
+      ~header:[ "strategy"; "accepted"; "lost"; "measured ratio" ] ()
+  in
+  List.iter
+    (fun (name, mk) ->
+       let o = Sched.Engine.run inst (mk ()) in
+       Prelude.Texttable.add_row table2
+         [
+           name;
+           string_of_int o.served;
+           string_of_int (Sched.Outcome.failed o);
+           Prelude.Texttable.cell_ratio
+             (float_of_int opt /. float_of_int o.served);
+         ])
+    strategies;
+  Prelude.Texttable.print table2;
+  print_newline ();
+  print_endline
+    "Note how every two-choice strategy sits far below its worst-case bound \
+     from Table 1: the adversarial analysis is (as the paper remarks) \
+     pessimistic for stochastic traffic, while the single-replica farm \
+     loses streams even at moderate load."

@@ -1,0 +1,1 @@
+lib/adversary/block.ml: Array List Sched

@@ -1,0 +1,1 @@
+lib/adversary/block.mli: Sched

@@ -1,0 +1,1 @@
+lib/adversary/random_workload.ml: Float List Prelude Sched

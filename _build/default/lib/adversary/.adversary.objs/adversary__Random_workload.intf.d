@@ -1,0 +1,1 @@
+lib/adversary/random_workload.mli: Prelude Sched

@@ -1,0 +1,1 @@
+lib/adversary/scenario.ml: Array List Sched

@@ -1,0 +1,1 @@
+lib/adversary/scenario.mli: Sched

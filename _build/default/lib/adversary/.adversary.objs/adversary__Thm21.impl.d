@@ -1,0 +1,1 @@
+lib/adversary/thm21.ml: Block Printf Scenario Sched

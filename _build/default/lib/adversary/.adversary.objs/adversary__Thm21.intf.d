@@ -1,0 +1,1 @@
+lib/adversary/thm21.mli: Scenario

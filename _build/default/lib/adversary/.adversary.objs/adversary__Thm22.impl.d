@@ -1,0 +1,1 @@
+lib/adversary/thm22.ml: Array Block Float List Printf Scenario Sched

@@ -1,0 +1,1 @@
+lib/adversary/thm22.mli: Scenario

@@ -1,0 +1,1 @@
+lib/adversary/thm23.ml: Array Block Printf Scenario Sched

@@ -1,0 +1,1 @@
+lib/adversary/thm23.mli: Scenario

@@ -1,0 +1,1 @@
+lib/adversary/thm24.ml: Block Printf Scenario Sched

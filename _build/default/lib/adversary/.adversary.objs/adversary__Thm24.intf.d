@@ -1,0 +1,1 @@
+lib/adversary/thm24.mli: Scenario

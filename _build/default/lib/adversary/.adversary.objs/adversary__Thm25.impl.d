@@ -1,0 +1,1 @@
+lib/adversary/thm25.ml: Block Printf Scenario Sched

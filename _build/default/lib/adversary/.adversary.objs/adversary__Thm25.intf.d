@@ -1,0 +1,1 @@
+lib/adversary/thm25.mli: Scenario

@@ -1,0 +1,1 @@
+lib/adversary/thm26.ml: Array Block List Prelude Sched

@@ -1,0 +1,1 @@
+lib/adversary/thm26.mli: Prelude Sched

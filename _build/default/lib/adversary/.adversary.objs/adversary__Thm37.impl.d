@@ -1,0 +1,1 @@
+lib/adversary/thm37.ml: Block Printf Scenario Sched

@@ -1,0 +1,1 @@
+lib/adversary/thm37.mli: Scenario

@@ -1,0 +1,19 @@
+let group ~arrival ~alternatives ~deadline ~count =
+  List.init count (fun _ ->
+      Sched.Request.make ~arrival ~alternatives ~deadline)
+
+let ring ~arrival ~resources ~d =
+  let a = Array.length resources in
+  if a < 2 then invalid_arg "Block.ring: need at least two resources";
+  List.concat
+    (List.init a (fun i ->
+         group ~arrival
+           ~alternatives:[ resources.(i); resources.((i + 1) mod a) ]
+           ~deadline:d ~count:d))
+
+let pair ~arrival ~r0 ~r1 ~d =
+  group ~arrival ~alternatives:[ r0; r1 ] ~deadline:d ~count:d
+  @ group ~arrival ~alternatives:[ r1; r0 ] ~deadline:d ~count:d
+
+let one ~arrival ~anchor ~target ~d =
+  group ~arrival ~alternatives:[ target; anchor ] ~deadline:d ~count:d

@@ -1,0 +1,29 @@
+(** The paper's [block(a,d)] input structures (Sec. 2).
+
+    A [block(a,d)] is a set of [a*d] requests generated in one round over
+    [a] resources arranged in a ring: for each [i], [d] requests directed
+    to resource [i] and resource [(i+1) mod a].  It exactly saturates the
+    [a] resources for [d] rounds — dense enough to block them and cut
+    augmenting-path dependencies.  [block(2,d)] degenerates to [2d]
+    requests over one resource pair; [block(1,d)] is the paper's special
+    form: [d] requests directed to a permanently-blocked anchor and one
+    real resource. *)
+
+val ring : arrival:int -> resources:int array -> d:int -> Sched.Request.t list
+(** General [block(a,d)] over the given (distinct) resources, [a >= 2].
+    Request order: group by ring position, then copy index.  First
+    alternative of group [i] is [resources.(i)]. *)
+
+val pair : arrival:int -> r0:int -> r1:int -> d:int -> Sched.Request.t list
+(** [block(2,d)]: [2d] requests directed to [{r0, r1}] — the first [d]
+    with first alternative [r0], the rest with first alternative [r1]. *)
+
+val one : arrival:int -> anchor:int -> target:int -> d:int ->
+  Sched.Request.t list
+(** [block(1,d)]: [d] requests directed to the (blocked) [anchor] and the
+    [target]; first alternative is [target]. *)
+
+val group : arrival:int -> alternatives:int list -> deadline:int ->
+  count:int -> Sched.Request.t list
+(** [count] identical requests with the given ordered alternatives and
+    deadline. *)

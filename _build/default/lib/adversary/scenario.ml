@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  instance : Sched.Instance.t;
+  bias : Sched.Strategy.bias;
+  opt_hint : int option;
+  alg_hint : int option;
+}
+
+module Builder = struct
+  type 'role b = {
+    mutable rev_entries : (Sched.Request.t * 'role) list;
+    mutable n : int;
+    mutable sorted_cache : (Sched.Request.t * 'role) array option;
+  }
+
+  let create () = { rev_entries = []; n = 0; sorted_cache = None }
+
+  let add b role reqs =
+    List.iter
+      (fun r ->
+         b.rev_entries <- (r, role) :: b.rev_entries;
+         b.n <- b.n + 1)
+      reqs;
+    b.sorted_cache <- None
+
+  (* Scenarios may emit requests out of chronological order (e.g. all
+     maintenance blocks up front); instances require arrival order, so
+     the builder stable-sorts by arrival at finalisation and ids refer
+     to the sorted positions. *)
+  let sorted b =
+    match b.sorted_cache with
+    | Some a -> a
+    | None ->
+      let a =
+        List.stable_sort
+          (fun ((r1 : Sched.Request.t), _) ((r2 : Sched.Request.t), _) ->
+             compare r1.Sched.Request.arrival r2.Sched.Request.arrival)
+          (List.rev b.rev_entries)
+        |> Array.of_list
+      in
+      b.sorted_cache <- Some a;
+      a
+
+  let protos b = Array.to_list (Array.map fst (sorted b))
+
+  let role_of b id =
+    if id < 0 || id >= b.n then
+      invalid_arg "Scenario.Builder.role_of: id out of range";
+    snd (sorted b).(id)
+
+  let count b = b.n
+end

@@ -1,0 +1,42 @@
+(** Packaged adversarial workloads.
+
+    Each lower-bound theorem of the paper becomes a [Scenario.t]: the
+    request sequence, the tie-break bias realising the theorem's
+    "the strategy can be implemented such that …" clause, and analytic
+    hints (expected OPT / expected strategy performance) the tests check
+    the simulation against exactly.
+
+    The [Builder] sub-API tracks a role for every emitted request (which
+    group of the construction it belongs to), so bias functions can
+    dispatch on the role of a request id — instance ids equal emission
+    positions. *)
+
+type t = {
+  name : string;
+  instance : Sched.Instance.t;
+  bias : Sched.Strategy.bias;
+  opt_hint : int option;  (** analytic offline optimum, when known *)
+  alg_hint : int option;
+      (** analytic performance of the theorem's target strategy under
+          this bias, when known *)
+}
+
+module Builder : sig
+  type 'role b
+
+  val create : unit -> 'role b
+
+  val add : 'role b -> 'role -> Sched.Request.t list -> unit
+  (** Append requests, all tagged with the given role.  Scenarios may
+      emit out of chronological order; finalisation stable-sorts by
+      arrival round, and ids refer to the sorted positions. *)
+
+  val protos : 'role b -> Sched.Request.t list
+  (** All requests, stably sorted by arrival round. *)
+
+  val role_of : 'role b -> int -> 'role
+  (** Role of the request that will receive the given id.
+      @raise Invalid_argument out of range. *)
+
+  val count : 'role b -> int
+end

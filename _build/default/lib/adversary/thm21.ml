@@ -1,0 +1,39 @@
+let n_resources = 4
+
+type role = Block | R1 | R2
+
+let make ~d ~phases =
+  if d < 2 then invalid_arg "Thm21.make: d must be >= 2";
+  if phases < 1 then invalid_arg "Thm21.make: phases must be >= 1";
+  let b = Scenario.Builder.create () in
+  (* resources: S1=0 S2=1 S3=2 S4=3 *)
+  Scenario.Builder.add b Block (Block.pair ~arrival:0 ~r0:1 ~r1:2 ~d);
+  for i = 1 to phases do
+    let start = (i * d) - 1 in
+    Scenario.Builder.add b R1
+      (Block.group ~arrival:start ~alternatives:[ 0; 1 ] ~deadline:d
+         ~count:(d - 1));
+    Scenario.Builder.add b R2
+      (Block.group ~arrival:start ~alternatives:[ 2; 3 ] ~deadline:d
+         ~count:(d - 1));
+    Scenario.Builder.add b Block (Block.pair ~arrival:(i * d) ~r0:1 ~r1:2 ~d)
+  done;
+  let instance =
+    Sched.Instance.build ~n_resources ~d (Scenario.Builder.protos b)
+  in
+  (* steer R1 toward S2 (resource 1) and R2 toward S3 (resource 2); the
+     strategy's own tiers sit above this bias, so the choice is only
+     exercised among the matchings A_fix's definition allows *)
+  let bias ~request ~resource ~round:_ =
+    match Scenario.Builder.role_of b request.Sched.Request.id with
+    | R1 -> if resource = 1 then 1 else 0
+    | R2 -> if resource = 2 then 1 else 0
+    | Block -> 0
+  in
+  {
+    Scenario.name = Printf.sprintf "thm2.1(d=%d,phases=%d)" d phases;
+    instance;
+    bias;
+    opt_hint = Some ((2 * d) + (phases * ((4 * d) - 2)));
+    alg_hint = Some ((2 * d) + (phases * 2 * d));
+  }

@@ -1,0 +1,17 @@
+(** Theorem 2.1 adversary: forces [A_fix] to competitive ratio [2 - 1/d].
+
+    Four resources S1..S4 (indices 0..3).  Round 0 injects a [block(2,d)]
+    on (S2,S3).  Phase [i >= 1] injects, at round [i*d - 1], the groups
+    [R1] ([d-1] requests to (S1,S2)) and [R2] ([d-1] to (S3,S4)), and at
+    round [i*d] another [block(2,d)] on (S2,S3).  The bias makes [A_fix]
+    schedule [R1] on S2 and [R2] on S3, where they block all but two of
+    the following block's slots; the optimum serves everything
+    ([R1]→S1, [R2]→S4, blocks→S2,S3).
+
+    Per phase: OPT = 4d-2, A_fix = 2d, ratio → 2 - 1/d. *)
+
+val make : d:int -> phases:int -> Scenario.t
+(** @raise Invalid_argument if [d < 2] or [phases < 1]. *)
+
+val n_resources : int
+(** Always 4. *)

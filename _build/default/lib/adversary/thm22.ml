@@ -1,0 +1,94 @@
+type role = { group : int } (* 1-based group index within its phase *)
+
+let check_params ~ell ~d =
+  if ell < 2 then invalid_arg "Thm22.make: ell must be >= 2";
+  for i = 1 to ell - 1 do
+    if d mod (ell - i) <> 0 then
+      invalid_arg
+        (Printf.sprintf "Thm22.make: %d must divide d=%d" (ell - i) d)
+  done
+
+(* Group R_i of one phase: d requests, first alternatives evenly over
+   resources 0..ell-i-1, second alternative ell-i (0-indexed). *)
+let group_requests ~ell ~d ~arrival i =
+  let spread = ell - i in
+  let second = ell - i in
+  List.concat
+    (List.init spread (fun j ->
+         Block.group ~arrival ~alternatives:[ j; second ] ~deadline:d
+           ~count:(d / spread)))
+
+let make ~ell ~d ~phases =
+  check_params ~ell ~d;
+  if phases < 1 then invalid_arg "Thm22.make: phases must be >= 1";
+  let b = Scenario.Builder.create () in
+  for p = 0 to phases - 1 do
+    let arrival = p * d in
+    for i = 1 to ell - 1 do
+      Scenario.Builder.add b { group = i } (group_requests ~ell ~d ~arrival i)
+    done;
+    (* R_ell copies R_{ell-1} *)
+    Scenario.Builder.add b { group = ell }
+      (group_requests ~ell ~d ~arrival (ell - 1))
+  done;
+  let instance =
+    Sched.Instance.build ~n_resources:ell ~d (Scenario.Builder.protos b)
+  in
+  (* drain low-index groups first; weights separated enough that one
+     group-(i) service outweighs any combination of ell services from
+     group i+1 *)
+  let weight = Array.init (ell + 1) (fun g ->
+      int_of_float (Float.pow (float_of_int (ell + 1)) (float_of_int (ell - g))))
+  in
+  let bias ~request ~resource:_ ~round:_ =
+    let { group } = Scenario.Builder.role_of b request.Sched.Request.id in
+    weight.(group)
+  in
+  {
+    Scenario.name = Printf.sprintf "thm2.2(ell=%d,d=%d,phases=%d)" ell d phases;
+    instance;
+    bias;
+    opt_hint = Some (phases * ell * d);
+    alg_hint = None;
+  }
+
+(* Reference count from the proof's drain argument: groups are consumed
+   in index order; while group i (i <= ell-1) is the lowest live one,
+   resources 0..ell-i are busy (rate ell-i+1); once only the twin groups
+   ell-1 and ell remain, the rate is 2.  We charge whole rounds and stop
+   after d rounds. *)
+let alg_lower_bound_per_phase ~ell ~d =
+  check_params ~ell ~d;
+  let remaining = Array.make (ell + 1) d in
+  let served = ref 0 in
+  let rounds_left = ref d in
+  let lowest = ref 1 in
+  while !rounds_left > 0 && !lowest <= ell do
+    let rate =
+      if !lowest <= ell - 1 then ell - !lowest + 1
+      else 2 (* both twin groups live on the pair (S1,S2) *)
+    in
+    let live_total =
+      let t = ref 0 in
+      for g = !lowest to ell do
+        t := !t + remaining.(g)
+      done;
+      !t
+    in
+    let serve_now = min rate live_total in
+    served := !served + serve_now;
+    (* consume from the lowest groups first *)
+    let todo = ref serve_now in
+    let g = ref !lowest in
+    while !todo > 0 && !g <= ell do
+      let take = min !todo remaining.(!g) in
+      remaining.(!g) <- remaining.(!g) - take;
+      todo := !todo - take;
+      incr g
+    done;
+    while !lowest <= ell && remaining.(!lowest) = 0 do
+      incr lowest
+    done;
+    decr rounds_left
+  done;
+  !served

@@ -1,0 +1,22 @@
+(** Theorem 2.2 adversary: forces [A_current] toward [e/(e-1) ≈ 1.58].
+
+    [ell] resources; phases of [d] rounds ([d] divisible by every
+    [1..ell-1], e.g. [d = ell!] as in the paper).  Each phase injects, in
+    its first round, groups [R_1 .. R_ell] of [d] requests: for
+    [i < ell], the first alternatives of [R_i] spread evenly over
+    [S_1..S_{ell-i}] and the second alternative is [S_{ell-i+1}];
+    [R_ell] copies [R_{ell-1}].  The optimum serves group [R_i] entirely
+    on its common resource; [A_current], biased to drain low-index groups
+    first, exhausts the [d] rounds after
+    [k = max { k : Σ_{i<=k} d/(ell-i+1) <= d }] complete groups and loses
+    the rest, which yields ratio [→ e/(e-1)] as [ell → ∞]. *)
+
+val make : ell:int -> d:int -> phases:int -> Scenario.t
+(** @raise Invalid_argument if [ell < 2], [phases < 1] or some
+    [i ∈ 1..ell-1] does not divide [d]. *)
+
+val alg_lower_bound_per_phase : ell:int -> d:int -> int
+(** The number of requests the biased [A_current] serves per phase
+    according to the proof's counting: [ell] resources serving for [d]
+    rounds drain groups in index order, each group [i] occupying
+    [d/(ell-i+1)] rounds of full service. *)

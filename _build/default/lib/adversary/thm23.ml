@@ -1,0 +1,38 @@
+let n_resources = 6
+
+let pairs = [| (0, 1); (2, 3); (4, 5) |]
+
+let make ~d ~phases =
+  if d < 2 || d mod 2 <> 0 then
+    invalid_arg "Thm23.make: d must be even and >= 2";
+  if phases < 1 then invalid_arg "Thm23.make: phases must be >= 1";
+  let b = Scenario.Builder.create () in
+  let r0, r1 = pairs.(0) in
+  Scenario.Builder.add b () (Block.pair ~arrival:0 ~r0 ~r1 ~d);
+  for p = 1 to phases do
+    let start = (d / 2) + ((p - 1) * ((d / 2) + 1)) in
+    let blocked = pairs.((p - 1) mod 3) and target = pairs.(p mod 3) in
+    Scenario.Builder.add b ()
+      (Block.group ~arrival:start
+         ~alternatives:[ fst blocked; fst target ]
+         ~deadline:d ~count:(d / 2));
+    Scenario.Builder.add b ()
+      (Block.group ~arrival:start
+         ~alternatives:[ snd blocked; snd target ]
+         ~deadline:d ~count:(d / 2));
+    Scenario.Builder.add b ()
+      (Block.pair ~arrival:(start + 1) ~r0:(fst target) ~r1:(snd target) ~d)
+  done;
+  let instance =
+    Sched.Instance.build ~n_resources ~d (Scenario.Builder.protos b)
+  in
+  (* the balancing function F alone forces the bad placement: R1/R2 can
+     only be served immediately on the target pair, and F insists on
+     immediate service, so no tie-break bias is needed *)
+  {
+    Scenario.name = Printf.sprintf "thm2.3(d=%d,phases=%d)" d phases;
+    instance;
+    bias = Sched.Strategy.no_bias;
+    opt_hint = Some ((2 * d) + (phases * 3 * d));
+    alg_hint = Some ((2 * d) + (phases * ((2 * d) + 2)));
+  }

@@ -1,0 +1,19 @@
+(** Theorem 2.3 adversary: forces [A_fix_balance] to ratio [3d/(2d+2)].
+
+    Six resources in three pairs P0=(S1,S2), P1=(S3,S4), P2=(S5,S6); [d]
+    even.  Round 0 blocks P0 with a [block(2,d)].  Phase [p >= 1] starts
+    at round [d/2 + (p-1)(d/2+1)], when the pair blocked in the previous
+    step is still busy for [d/2] more rounds; it injects [R1] ([d/2]
+    requests to (blocked.0, target.0)) and [R2] ([d/2] to (blocked.1,
+    target.1)), then one round later a [block(2,d)] on the target pair.
+    The balancing function forces [R1],[R2] onto the target pair (their
+    earliest free slots), so only [d+2] of the following [2d] block
+    requests fit; the optimum waits and serves everything.
+
+    Per phase: OPT = 3d, A_fix_balance = 2d+2, ratio → 3d/(2d+2). *)
+
+val make : d:int -> phases:int -> Scenario.t
+(** @raise Invalid_argument if [d] is odd, [d < 2] or [phases < 1]. *)
+
+val n_resources : int
+(** Always 6. *)

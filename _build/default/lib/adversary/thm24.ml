@@ -1,0 +1,54 @@
+let n_resources = 4
+
+type role =
+  | Steered of { inner : int; until : int }
+      (* R1/R2: bias +1 on [inner] before round [until] *)
+  | Plain (* R3 and blocks *)
+
+let make ~d ~phases =
+  if d < 2 || d mod 2 <> 0 then
+    invalid_arg "Thm24.make: d must be even and >= 2";
+  if phases < 1 then invalid_arg "Thm24.make: phases must be >= 1";
+  let b = Scenario.Builder.create () in
+  (* S1..S4 = 0..3; round 0 blocks (S1,S4) *)
+  Scenario.Builder.add b Plain (Block.pair ~arrival:0 ~r0:0 ~r1:3 ~d);
+  for i = 1 to phases do
+    let start = ((i - 1) * d) + (d / 2) in
+    let odd = i mod 2 = 1 in
+    (* odd phases clog (S2,S3); even phases clog (S1,S4) *)
+    let r1_inner = if odd then 1 else 0 in
+    let r2_inner = if odd then 2 else 3 in
+    let pair0 = if odd then 1 else 0 and pair1 = if odd then 2 else 3 in
+    let until = start + (d / 2) in
+    Scenario.Builder.add b
+      (Steered { inner = r1_inner; until })
+      (Block.group ~arrival:start ~alternatives:[ 0; 1 ] ~deadline:d
+         ~count:(d / 2));
+    Scenario.Builder.add b
+      (Steered { inner = r2_inner; until })
+      (Block.group ~arrival:start ~alternatives:[ 2; 3 ] ~deadline:d
+         ~count:(d / 2));
+    Scenario.Builder.add b Plain
+      (Block.group ~arrival:start ~alternatives:[ pair0; pair1 ] ~deadline:d
+         ~count:d);
+    Scenario.Builder.add b Plain
+      (Block.pair ~arrival:(start + (d / 2)) ~r0:pair0 ~r1:pair1 ~d)
+  done;
+  let instance =
+    Sched.Instance.build ~n_resources ~d (Scenario.Builder.protos b)
+  in
+  (* R1/R2 are both steered onto the pair R3 needs and pushed to be
+     served in the first d/2 rounds of the phase, so that when the block
+     arrives they are already gone and cannot be moved out of the way *)
+  let bias ~request ~resource ~round =
+    match Scenario.Builder.role_of b request.Sched.Request.id with
+    | Steered { inner; until } when resource = inner && round < until -> 1
+    | Steered _ | Plain -> 0
+  in
+  {
+    Scenario.name = Printf.sprintf "thm2.4(d=%d,phases=%d)" d phases;
+    instance;
+    bias;
+    opt_hint = Some ((2 * d) + (phases * 4 * d));
+    alg_hint = Some ((2 * d) + (phases * 3 * d));
+  }

@@ -1,0 +1,21 @@
+(** Theorem 2.4 adversary: forces [A_eager] to ratio 4/3 for any even
+    [d >= 2] (and, at [d = 2], also [A_current], [A_fix_balance] and
+    [A_balance]).
+
+    Four resources S1..S4.  Round 0 blocks (S1,S4).  Phase [i >= 1]
+    starts at round [(i-1)d + d/2], while the previous block still holds
+    its pair for [d/2] more rounds.  Odd phases inject [R1] ([d/2] to
+    (S1,S2)), [R2] ([d/2] to (S3,S4)) and [R3] ([d] to (S2,S3)); [d/2]
+    rounds later a [block(2,d)] lands on (S2,S3).  Even phases swap the
+    roles of the pairs: [R3] and the block target (S1,S4).  The bias
+    makes the strategy stuff [R1],[R2] onto the pair [R3] needs, so
+    [R3] + block can realise only [2d] of their [3d] requests; the
+    optimum serves all [4d].
+
+    Per phase: OPT = 4d, ALG = 3d, ratio → 4/3. *)
+
+val make : d:int -> phases:int -> Scenario.t
+(** @raise Invalid_argument if [d] is odd, [d < 2] or [phases < 1]. *)
+
+val n_resources : int
+(** Always 4. *)

@@ -1,0 +1,77 @@
+let n_resources ~groups = (3 * groups) + 2
+
+type role =
+  | Maint (* anchor-pair maintenance: stay on S'/S'' *)
+  | Blk1 of { target : int } (* block(1,d): stay on its group resource *)
+  | R1 of { s2 : int; until : int } (* occupy s2 before [until] *)
+  | R2
+
+let make ~d ~groups ~intervals =
+  if d < 2 || (d + 1) mod 3 <> 0 then
+    invalid_arg "Thm25.make: d must be 3x-1 for some x >= 1 (and >= 2)";
+  if groups < 1 then invalid_arg "Thm25.make: groups must be >= 1";
+  if intervals < 1 then invalid_arg "Thm25.make: intervals must be >= 1";
+  let x = (d + 1) / 3 in
+  let anchor0 = 3 * groups and anchor1 = (3 * groups) + 1 in
+  let b = Scenario.Builder.create () in
+  let last_event_end = (2 * x * intervals) + (3 * x) - 2 in
+  (* anchor maintenance: one block(2,d) per d rounds exactly saturates
+     S' and S'' for the whole run *)
+  let maint_blocks = ref 0 in
+  let t = ref 0 in
+  while !t <= last_event_end do
+    Scenario.Builder.add b Maint
+      (Block.pair ~arrival:!t ~r0:anchor0 ~r1:anchor1 ~d);
+    incr maint_blocks;
+    t := !t + d
+  done;
+  (* initial block(1,d) on every group's first resource *)
+  for g = 0 to groups - 1 do
+    Scenario.Builder.add b
+      (Blk1 { target = 3 * g })
+      (Block.one ~arrival:0 ~anchor:anchor0 ~target:(3 * g) ~d)
+  done;
+  for m = 0 to intervals - 1 do
+    let p1 = x + (2 * x * m) in
+    let p2 = p1 + x in
+    for g = 0 to groups - 1 do
+      let base = 3 * g in
+      let s1 = base + (m mod 3) and s2 = base + ((m + 1) mod 3) in
+      Scenario.Builder.add b
+        (R1 { s2; until = p1 + x })
+        (Block.group ~arrival:p1 ~alternatives:[ s1; s2 ] ~deadline:d
+           ~count:x);
+      Scenario.Builder.add b R2
+        (Block.group ~arrival:p1 ~alternatives:[ s2; anchor0 ] ~deadline:d
+           ~count:x);
+      Scenario.Builder.add b
+        (Blk1 { target = s2 })
+        (Block.one ~arrival:p2 ~anchor:anchor0 ~target:s2 ~d)
+    done
+  done;
+  let instance =
+    Sched.Instance.build ~n_resources:(n_resources ~groups) ~d
+      (Scenario.Builder.protos b)
+  in
+  let bias ~request ~resource ~round =
+    match Scenario.Builder.role_of b request.Sched.Request.id with
+    | Maint -> if resource = anchor0 || resource = anchor1 then 2 else 0
+    | Blk1 { target } -> if resource = target then 2 else 0
+    | R1 { s2; until } -> if resource = s2 && round < until then 1 else 0
+    | R2 -> 0
+  in
+  let n_req = Scenario.Builder.count b in
+  let alg =
+    (2 * d * !maint_blocks) (* anchors *)
+    + (groups * d) (* initial group blocks *)
+    + (groups * intervals * ((4 * x) - 1))
+  in
+  {
+    Scenario.name =
+      Printf.sprintf "thm2.5(d=%d,groups=%d,intervals=%d)" d groups
+        intervals;
+    instance;
+    bias;
+    opt_hint = Some n_req;
+    alg_hint = Some alg;
+  }

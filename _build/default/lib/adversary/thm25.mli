@@ -1,0 +1,24 @@
+(** Theorem 2.5 adversary: forces [A_balance] to ratio [(5d+2)/(4d+1)]
+    in the limit of many resource groups, for [d = 3x - 1].
+
+    [k] groups of three resources plus two anchors S', S'' that are kept
+    permanently busy by maintenance blocks.  Per group and per interval
+    of [2x] rounds: a [block(1,d)] holds the current "S1"-role resource;
+    phase 1 injects [R1] ([x] requests to (S1-role, S2-role)) and [R2]
+    ([x] to (S2-role, S')); phase 2 injects a [block(1,d)] on the
+    S2-role.  [A_balance] — whose rules never prefer a request whose
+    second alternative is overloaded — is biased to serve [R1] before
+    [R2], after which [R2] and the new block together can only get [x]
+    services before the interval ends; the optimum serves [R2] early and
+    [R1] on the S1-role right after its block expires.
+
+    Per interval and group: OPT = 5x-1 services, A_balance = 4x-1,
+    ratio → (5x-1)/(4x-1) = (5d+2)/(4d+1) as the anchor traffic washes
+    out with growing [k]. *)
+
+val make : d:int -> groups:int -> intervals:int -> Scenario.t
+(** @raise Invalid_argument unless [d = 3x-1] for some [x >= 1],
+    [groups >= 1] and [intervals >= 1]. *)
+
+val n_resources : groups:int -> int
+(** [3*groups + 2]. *)

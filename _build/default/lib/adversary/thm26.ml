@@ -1,0 +1,98 @@
+let n_resources = 10
+
+(* Five pairs of resources; pair g owns resources 2g and 2g+1. *)
+let pair_resources g = [| 2 * g; (2 * g) + 1 |]
+
+type t = {
+  d : int;
+  phases : int;
+  mutable next_id : int; (* mirrors the engine's id assignment *)
+  mutable blocked : int array; (* three currently blocked pair indices *)
+  mutable free : int array; (* two currently free pair indices *)
+  mutable colored : int list array; (* colour -> ids of current phase *)
+}
+
+let create ~d ~phases =
+  if d < 3 || d mod 3 <> 0 then
+    invalid_arg "Thm26.create: d must be a positive multiple of 3";
+  if phases < 1 then invalid_arg "Thm26.create: phases must be >= 1";
+  {
+    d;
+    phases;
+    next_id = 0;
+    blocked = [| 0; 1; 2 |];
+    free = [| 3; 4 |];
+    colored = Array.make 3 [];
+  }
+
+let last_arrival_round ~d ~phases = phases * d
+
+let opt_expected ~d ~phases = (6 * d) + (10 * d * phases)
+
+let ratio_bound = Prelude.Rat.make 45 41
+
+(* Emit [reqs], keeping the id mirror in sync, and return the ids. *)
+let emit t reqs =
+  List.map
+    (fun r ->
+       let id = t.next_id in
+       t.next_id <- t.next_id + 1;
+       (id, r))
+    reqs
+
+let block6 t ~arrival ~pairs =
+  let resources = Array.concat (List.map pair_resources (Array.to_list pairs)) in
+  List.map snd (emit t (Block.ring ~arrival ~resources ~d:t.d))
+
+(* Phase-1 colours: for each colour c, 4d/3 requests; first alternatives
+   cycle over the four free resources (d/3 each), second alternatives
+   cycle over the two resources of the blocked pair the colour points
+   at. *)
+let colored_requests t ~arrival =
+  let free_res = Array.concat (List.map pair_resources (Array.to_list t.free)) in
+  let out = ref [] in
+  for c = 0 to 2 do
+    let second_res = pair_resources t.blocked.(c) in
+    let reqs =
+      List.init (4 * t.d / 3) (fun j ->
+          Sched.Request.make ~arrival
+            ~alternatives:
+              [ free_res.(j mod 4); second_res.(j mod 2) ]
+            ~deadline:t.d)
+    in
+    let tagged = emit t reqs in
+    t.colored.(c) <- List.map fst tagged;
+    out := !out @ List.map snd tagged
+  done;
+  !out
+
+let adversary t : Sched.Engine.adaptive =
+ fun ~round ~is_served ->
+  let d = t.d in
+  if round = 0 then
+    block6 t ~arrival:0 ~pairs:t.blocked
+  else if round >= d && round mod d = 0 && round / d <= t.phases then begin
+    (* block boundary: pick the colour with the most unserved requests,
+       re-block the free duo plus its pair, and rotate the roles *)
+    let unserved c =
+      List.length (List.filter (fun id -> not (is_served id)) t.colored.(c))
+    in
+    let worst = ref 0 in
+    for c = 1 to 2 do
+      if unserved c > unserved !worst then worst := c
+    done;
+    let reblocked_pair = t.blocked.(!worst) in
+    let survivors =
+      Array.of_list
+        (List.filteri (fun i _ -> i <> !worst) (Array.to_list t.blocked))
+    in
+    let new_blocked = [| t.free.(0); t.free.(1); reblocked_pair |] in
+    let reqs = block6 t ~arrival:round ~pairs:new_blocked in
+    t.blocked <- new_blocked;
+    t.free <- survivors;
+    Array.fill t.colored 0 3 [];
+    reqs
+  end
+  else if round mod d = 2 * d / 3 && round / d < t.phases then
+    colored_requests t ~arrival:round
+  else []

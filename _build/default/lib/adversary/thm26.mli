@@ -1,0 +1,38 @@
+(** Theorem 2.6: the universal adaptive adversary — every deterministic
+    online algorithm has competitive ratio at least 45/41 ≈ 1.0976.
+
+    Ten resources in five pairs.  A rolling [block(6,d)] keeps three
+    pairs busy at all times.  Each phase injects, [d/3] rounds before the
+    current block expires, [4d] "coloured" requests in three colour
+    classes whose first alternatives share the four free resources and
+    whose second alternatives each point at one blocked pair.  When the
+    block expires the adversary {e observes the algorithm} ([is_served])
+    and re-blocks the four free resources together with the pair backing
+    the colour with the most unserved requests — an averaging argument
+    shows at least [⌈8d/9⌉] of the [10d] requests per phase must fail.
+
+    Unlike the other constructions this adversary is adaptive, so it
+    plugs into {!Sched.Engine.run_adaptive} rather than producing a fixed
+    instance. *)
+
+type t
+(** Mutable adversary state for one run. *)
+
+val n_resources : int
+(** Always 10. *)
+
+val create : d:int -> phases:int -> t
+(** @raise Invalid_argument unless [3 | d], [d >= 3], [phases >= 1]. *)
+
+val last_arrival_round : d:int -> phases:int -> int
+(** The round of the final block injection, [phases * d]. *)
+
+val adversary : t -> Sched.Engine.adaptive
+(** The round callback to hand to {!Sched.Engine.run_adaptive}.  A [t]
+    must be used for exactly one run. *)
+
+val opt_expected : d:int -> phases:int -> int
+(** The optimum serves every request: [6d + 10d * phases]. *)
+
+val ratio_bound : Prelude.Rat.t
+(** [45/41]. *)

@@ -1,0 +1,35 @@
+let n_resources = 4
+
+type role = Favoured | Victim (* R1/R2 vs R3 in the mailbox tie-break *)
+
+let make ~d ~intervals =
+  if d < 1 then invalid_arg "Thm37.make: d must be >= 1";
+  if intervals < 1 then invalid_arg "Thm37.make: intervals must be >= 1";
+  let b = Scenario.Builder.create () in
+  for m = 0 to intervals - 1 do
+    let arrival = m * d in
+    (* S1=0 S2=1 S3=2 S4=3; alternative order matters to the protocol *)
+    Scenario.Builder.add b Favoured
+      (Block.group ~arrival ~alternatives:[ 0; 1 ] ~deadline:d ~count:d);
+    Scenario.Builder.add b Favoured
+      (Block.group ~arrival ~alternatives:[ 2; 3 ] ~deadline:d ~count:d);
+    Scenario.Builder.add b Victim
+      (Block.group ~arrival ~alternatives:[ 0; 2 ] ~deadline:d
+         ~count:(2 * d))
+  done;
+  let instance =
+    Sched.Instance.build ~n_resources ~d (Scenario.Builder.protos b)
+  in
+  let priority ~sender ~dst:_ =
+    match Scenario.Builder.role_of b sender with
+    | Favoured -> 1
+    | Victim -> 0
+  in
+  ( {
+      Scenario.name = Printf.sprintf "thm3.7(d=%d,intervals=%d)" d intervals;
+      instance;
+      bias = Sched.Strategy.no_bias;
+      opt_hint = Some (intervals * 4 * d);
+      alg_hint = Some (intervals * 2 * d);
+    },
+    priority )

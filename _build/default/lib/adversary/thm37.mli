@@ -1,0 +1,22 @@
+(** Theorem 3.7 adversary: forces [A_local_fix] to ratio exactly 2.
+
+    Four resources; intervals of [d] rounds; at every interval start the
+    groups [R1] ([d] requests, first alternative S1, second S2), [R2]
+    ([d] requests, first S3, second S4) and [R3] ([2d] requests, first
+    S1, second S3) arrive together.  In the first communication round S1
+    receives [3d] messages and the LDF tie-break (all deadlines equal)
+    is resolved by the returned priority in favour of [R1]; S3 accepts
+    [R2].  [R3]'s retries hit the now-full S3 and fail entirely, so the
+    protocol serves [2d] of the [4d] requests per interval while the
+    optimum serves all of them ([R1]→S2, [R2]→S4, [R3] split over S1 and
+    S3). *)
+
+val make : d:int -> intervals:int ->
+  Scenario.t * (sender:int -> dst:int -> int)
+(** The scenario (its [bias] field is unused by local strategies) and
+    the network tie-break priority to pass to
+    {!Localstrat.Local.fix}.
+    @raise Invalid_argument if [d < 1] or [intervals < 1]. *)
+
+val n_resources : int
+(** Always 4. *)

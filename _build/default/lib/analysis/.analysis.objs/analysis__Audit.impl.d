@@ -1,0 +1,1 @@
+lib/analysis/audit.ml: Array Format Graph List Option Prelude Printf Sched String

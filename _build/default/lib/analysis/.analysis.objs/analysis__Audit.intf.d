@@ -1,0 +1,1 @@
+lib/analysis/audit.mli: Format Sched

@@ -1,0 +1,1 @@
+lib/analysis/hall.ml: Array Sched

@@ -1,0 +1,1 @@
+lib/analysis/ledger.ml: Array Format List Sched

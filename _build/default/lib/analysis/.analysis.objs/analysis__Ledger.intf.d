@@ -1,0 +1,1 @@
+lib/analysis/ledger.mli: Format Sched

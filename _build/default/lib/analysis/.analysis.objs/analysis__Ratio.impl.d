@@ -1,0 +1,1 @@
+lib/analysis/ratio.ml: Format Offline Prelude Sched

@@ -1,0 +1,65 @@
+type t = {
+  census : (int * int) list;
+  opt : int;
+  alg : int;
+  n_paths : int;
+}
+
+let of_outcome (o : Sched.Outcome.t) =
+  let g, alg_matching = Sched.Outcome.to_matching o in
+  let opt_matching =
+    Graph.Hopcroft_karp.solve_from g
+      (Graph.Matching.greedy_maximal g)
+  in
+  let census = Graph.Altpath.census g alg_matching opt_matching in
+  {
+    census;
+    opt = Graph.Matching.size opt_matching;
+    alg = Graph.Matching.size alg_matching;
+    n_paths = List.fold_left (fun acc (_, c) -> acc + c) 0 census;
+  }
+
+let min_order t =
+  match t.census with [] -> None | (o, _) :: _ -> Some o
+
+let paths_of_order t order =
+  Option.value ~default:0 (List.assoc_opt order t.census)
+
+(* Bounded-depth alternating search from every failed request: an
+   augmenting path of order k uses k request nodes, so we explore up to
+   [order] request levels.  Marks visited requests to keep the search
+   linear per start. *)
+let has_augmenting_of_order (o : Sched.Outcome.t) ~order =
+  if order < 1 then invalid_arg "Audit.has_augmenting_of_order: order >= 1";
+  let g, m = Sched.Outcome.to_matching o in
+  let n_req = Graph.Bipartite.n_left g in
+  let found = ref false in
+  let visited = Array.make n_req (-1) in
+  let rec explore ~start ~depth u =
+    if depth > order || !found then ()
+    else begin
+      visited.(u) <- start;
+      Prelude.Ivec.iter
+        (fun e ->
+           if not !found then begin
+             let v = Graph.Bipartite.edge_right g e in
+             let occupant = m.Graph.Matching.right_to.(v) in
+             if occupant < 0 then found := true
+             else if visited.(occupant) <> start && depth < order then
+               explore ~start ~depth:(depth + 1) occupant
+           end)
+        (Graph.Bipartite.adj_left g u)
+    end
+  in
+  for u = 0 to n_req - 1 do
+    if (not !found) && not (Graph.Matching.is_matched_left m u) then
+      explore ~start:u ~depth:1 u
+  done;
+  !found
+
+let pp fmt t =
+  Format.fprintf fmt "opt=%d alg=%d paths=[%s]" t.opt t.alg
+    (String.concat "; "
+       (List.map
+          (fun (o, c) -> Printf.sprintf "order %d x%d" o c)
+          t.census))

@@ -1,0 +1,36 @@
+(** Structural audits of online outcomes against the optimum.
+
+    The upper-bound proofs of Section 3 rest on structural facts about
+    the augmenting paths the optimum holds against the online matching:
+    maximal strategies admit none of order 1 (Thm 3.3), [A_eager] and
+    [A_balance] none of order 1 or 2 (Thms 3.5/3.6), and [A_local_eager]
+    handles order 2 except through one counted exception (Thm 3.8).
+    This module decomposes [ALG ⊕ OPT] and reports the order census so
+    tests and experiments can check those facts on real runs. *)
+
+type t = {
+  census : (int * int) list;
+      (** (order, count) over augmenting paths for the online matching *)
+  opt : int;
+  alg : int;
+  n_paths : int; (** total augmenting paths = opt - alg *)
+}
+
+val of_outcome : Sched.Outcome.t -> t
+(** Builds the paper graph, one maximum matching, and the census. *)
+
+val min_order : t -> int option
+(** Smallest augmenting-path order present, if any. *)
+
+val paths_of_order : t -> int -> int
+
+val has_augmenting_of_order : Sched.Outcome.t -> order:int -> bool
+(** Direct existence check (independent of any particular optimum
+    matching): is there an augmenting path for the online matching with
+    at most [order] request nodes?  [order = 1] asks for a failed request
+    with a free alternative slot (impossible for maximal strategies,
+    Thm 3.3); [order = 2] additionally follows one occupied slot to its
+    occupant's other free slots (impossible for [A_eager]/[A_balance],
+    Thms 3.5/3.6). *)
+
+val pp : Format.formatter -> t -> unit

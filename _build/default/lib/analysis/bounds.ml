@@ -1,0 +1,78 @@
+open Prelude
+
+let check_d d = if d < 2 then invalid_arg "Bounds: d must be >= 2"
+
+let fix_lb ~d =
+  check_d d;
+  Rat.make ((2 * d) - 1) d
+
+let current_lb_limit = Rat.make 15820 10000
+
+let current_lb_float = Float.exp 1.0 /. (Float.exp 1.0 -. 1.0)
+
+let fix_balance_lb ~d =
+  check_d d;
+  if d = 2 then Rat.make 4 3 else Rat.make (3 * d) ((2 * d) + 2)
+
+let eager_lb = Rat.make 4 3
+
+let balance_lb ~d =
+  check_d d;
+  if d = 2 then Rat.make 4 3
+  else if (d + 1) mod 3 = 0 then Rat.make ((5 * d) + 2) ((4 * d) + 1)
+  else
+    invalid_arg "Bounds.balance_lb: defined for d = 2 or d = 3x - 1 only"
+
+let universal_lb = Rat.make 45 41
+
+let universal_lb_finite ~d =
+  if d < 3 || d mod 3 <> 0 then
+    invalid_arg "Bounds.universal_lb_finite: need 3 | d";
+  let lost = ((8 * d) + 8) / 9 in
+  (* ceil(8d/9) *)
+  Rat.make (10 * d) ((10 * d) - lost)
+
+let fix_ub ~d =
+  check_d d;
+  Rat.make ((2 * d) - 1) d
+
+let fix_balance_ub ~d =
+  check_d d;
+  if d = 2 then Rat.make 4 3
+  else if d = 3 then Rat.make 7 5
+  else Rat.make ((2 * d) - 2) d
+
+let eager_ub ~d =
+  check_d d;
+  Rat.make ((3 * d) - 2) ((2 * d) - 1)
+
+let balance_ub ~d =
+  check_d d;
+  if d = 2 then Rat.make 4 3
+  else Rat.make (6 * (d - 1)) ((4 * d) - 3)
+
+let edf_ub ~alternatives =
+  if alternatives < 1 then invalid_arg "Bounds.edf_ub: need c >= 1";
+  Rat.of_int alternatives
+
+let local_fix_ratio = Rat.of_int 2
+
+let local_eager_ub = Rat.make 5 3
+
+let table1 ~d =
+  check_d d;
+  let balance_lb_opt =
+    if d = 2 || (d + 1) mod 3 = 0 then Some (balance_lb ~d) else None
+  in
+  [
+    ("A_fix", Some (fix_lb ~d), Some (fix_ub ~d));
+    ( "A_current",
+      Some (if d = 2 then Rat.make 4 3 else current_lb_limit),
+      Some (fix_ub ~d) );
+    ("A_fix_balance", Some (fix_balance_lb ~d), Some (fix_balance_ub ~d));
+    ("A_eager", Some eager_lb, Some (eager_ub ~d));
+    ("A_balance", balance_lb_opt, Some (balance_ub ~d));
+    ( "any online",
+      (if d mod 3 = 0 then Some (universal_lb_finite ~d) else Some universal_lb),
+      None );
+  ]

@@ -1,0 +1,62 @@
+(** Closed-form competitive-ratio bounds from the paper, as exact
+    rationals (Table 1, Theorems 3.3–3.8, Observations 3.1–3.2). *)
+
+open Prelude
+
+(** {1 Lower bounds (Section 2)} *)
+
+val fix_lb : d:int -> Rat.t
+(** Theorem 2.1: [2 - 1/d]. *)
+
+val current_lb_limit : Rat.t
+(** Theorem 2.2 in the limit [d → ∞]: [e/(e-1)] is irrational; this is
+    the convergent [1.5819767…] truncated to [15820/10000] for display
+    comparisons only (use {!current_lb_float} for numerics). *)
+
+val current_lb_float : float
+(** [e /. (e -. 1.)]. *)
+
+val fix_balance_lb : d:int -> Rat.t
+(** Theorems 2.3 / 2.4: [4/3] for [d = 2], else [3d/(2d+2)]. *)
+
+val eager_lb : Rat.t
+(** Theorem 2.4: [4/3] for every [d >= 2]. *)
+
+val balance_lb : d:int -> Rat.t
+(** Theorems 2.4 / 2.5: [4/3] for [d = 2]; [(5d+2)/(4d+1)] for
+    [d = 3x - 1]; undefined otherwise.
+    @raise Invalid_argument unless [d = 2] or [d ≡ 2 (mod 3)]. *)
+
+val universal_lb : Rat.t
+(** Theorem 2.6: [45/41]. *)
+
+val universal_lb_finite : d:int -> Rat.t
+(** Theorem 2.6 for a finite multiple of 3:
+    [10d / (10d - ceil(8d/9))]. *)
+
+(** {1 Upper bounds (Section 3)} *)
+
+val fix_ub : d:int -> Rat.t
+(** Theorem 3.3: [2 - 1/d] (also [A_current]). *)
+
+val fix_balance_ub : d:int -> Rat.t
+(** Theorem 3.4: [4/3] (d=2), [7/5] (d=3), [2 - 2/d] (d>3). *)
+
+val eager_ub : d:int -> Rat.t
+(** Theorem 3.5: [(3d-2)/(2d-1)]. *)
+
+val balance_ub : d:int -> Rat.t
+(** Theorem 3.6: [4/3] (d=2), [6(d-1)/(4d-3)] (d>2). *)
+
+val edf_ub : alternatives:int -> Rat.t
+(** Observations 3.1/3.2 (and the noted extension): [c]. *)
+
+val local_fix_ratio : Rat.t
+(** Theorem 3.7: exactly 2. *)
+
+val local_eager_ub : Rat.t
+(** Theorem 3.8: [5/3]. *)
+
+val table1 : d:int -> (string * Rat.t option * Rat.t option) list
+(** The rows of Table 1 at a given [d]:
+    [(strategy, lower bound if defined at this d, upper bound)]. *)

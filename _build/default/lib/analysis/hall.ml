@@ -1,0 +1,74 @@
+module Instance = Sched.Instance
+module Request = Sched.Request
+
+let check_interval ~s ~t =
+  if s < 0 || s > t then invalid_arg "Hall: bad interval"
+
+(* confined(s,t) = number of requests whose whole window lies in [s,t];
+   computed for all intervals at once via a 2D suffix/prefix sum over
+   the (arrival, last_round) histogram. *)
+let confined_table inst =
+  let h = max 1 inst.Instance.horizon in
+  let m = Array.make_matrix h h 0 in
+  Array.iter
+    (fun (r : Request.t) ->
+       let a = r.Request.arrival and l = Request.last_round r in
+       if a < h && l < h then m.(a).(l) <- m.(a).(l) + 1)
+    inst.Instance.requests;
+  (* c.(s).(t) = sum over a >= s, l <= t of m.(a).(l) *)
+  let c = Array.make_matrix h h 0 in
+  for s = h - 1 downto 0 do
+    for t = 0 to h - 1 do
+      let here = m.(s).(t) in
+      let below = if s + 1 < h then c.(s + 1).(t) else 0 in
+      let left = if t > 0 then c.(s).(t - 1) else 0 in
+      let overlap = if s + 1 < h && t > 0 then c.(s + 1).(t - 1) else 0 in
+      c.(s).(t) <- here + below + left - overlap
+    done
+  done;
+  c
+
+let interval_deficiency inst ~s ~t =
+  check_interval ~s ~t;
+  let confined = ref 0 in
+  Array.iter
+    (fun (r : Request.t) ->
+       if r.Request.arrival >= s && Request.last_round r <= t then
+         incr confined)
+    inst.Instance.requests;
+  max 0 (!confined - (inst.Instance.n_resources * (t - s + 1)))
+
+let opt_upper_bound inst =
+  let total = Instance.n_requests inst in
+  if total = 0 then 0
+  else begin
+    let h = inst.Instance.horizon in
+    let c = confined_table inst in
+    let n = inst.Instance.n_resources in
+    (* dp.(t+1) = best deficiency sum using disjoint intervals within
+       rounds 0..t *)
+    let dp = Array.make (h + 1) 0 in
+    for t = 0 to h - 1 do
+      dp.(t + 1) <- dp.(t);
+      for s = 0 to t do
+        let def = max 0 (c.(s).(t) - (n * (t - s + 1))) in
+        if dp.(s) + def > dp.(t + 1) then dp.(t + 1) <- dp.(s) + def
+      done
+    done;
+    total - dp.(h)
+  end
+
+let resource_interval_deficiency inst ~resource ~s ~t =
+  check_interval ~s ~t;
+  if resource < 0 || resource >= inst.Instance.n_resources then
+    invalid_arg "Hall: resource out of range";
+  let confined = ref 0 in
+  Array.iter
+    (fun (r : Request.t) ->
+       if
+         r.Request.arrival >= s
+         && Request.last_round r <= t
+         && Array.for_all (( = ) resource) r.Request.alternatives
+       then incr confined)
+    inst.Instance.requests;
+  max 0 (!confined - (t - s + 1))

@@ -1,0 +1,30 @@
+(** Hall-style capacity bounds on the offline optimum.
+
+    For any round interval [\[s, t\]], the requests whose whole service
+    window lies inside it can receive at most [n * (t - s + 1)] services
+    (and only on resources they actually name).  Summing the worst
+    deficiencies over disjoint intervals gives an upper bound on the
+    optimum that needs no matching computation — an independent sanity
+    certificate for {!Offline.Opt}, and an exact value in the
+    single-resource case, where interval deficiencies are precisely
+    Hall's condition for unit jobs. *)
+
+val interval_deficiency : Sched.Instance.t -> s:int -> t:int -> int
+(** [max 0 (confined - capacity)] where [confined] counts requests with
+    [s <= arrival] and [last_round <= t], and capacity is
+    [n_resources * (t - s + 1)].
+    @raise Invalid_argument unless [0 <= s <= t]. *)
+
+val opt_upper_bound : Sched.Instance.t -> int
+(** [total - (max deficiency sum over disjoint intervals)], computed by
+    weighted interval scheduling over all O(horizon²) intervals.  Always
+    [>= Offline.Opt.value] … i.e. an upper bound on it; tight whenever
+    losses are forced purely by interval capacity (always, for
+    [n = 1]). *)
+
+val resource_interval_deficiency :
+  Sched.Instance.t -> resource:int -> s:int -> t:int -> int
+(** The per-resource refinement: requests {e all of whose alternatives
+    equal} [resource] and whose window lies in [\[s, t\]], against that
+    single resource's capacity [t - s + 1].  Sharper on single-choice
+    traffic. *)

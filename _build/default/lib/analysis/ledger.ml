@@ -1,0 +1,51 @@
+module Instance = Sched.Instance
+module Request = Sched.Request
+
+type window = {
+  start : int;
+  stop : int;
+  arrived : int;
+  served : int;
+  failed : int;
+}
+
+let by_window (o : Sched.Outcome.t) ~period =
+  if period < 1 then invalid_arg "Ledger.by_window: period must be >= 1";
+  let inst = o.Sched.Outcome.instance in
+  let h = inst.Instance.horizon in
+  if h = 0 then []
+  else begin
+    let n_windows = (h + period - 1) / period in
+    let arrived = Array.make n_windows 0 in
+    let served = Array.make n_windows 0 in
+    Array.iteri
+      (fun id sv ->
+         let w = inst.Instance.requests.(id).Request.arrival / period in
+         arrived.(w) <- arrived.(w) + 1;
+         if sv <> None then served.(w) <- served.(w) + 1)
+      o.Sched.Outcome.served_at;
+    List.init n_windows (fun w ->
+        {
+          start = w * period;
+          stop = min ((w + 1) * period - 1) (h - 1);
+          arrived = arrived.(w);
+          served = served.(w);
+          failed = arrived.(w) - served.(w);
+        })
+  end
+
+let steady_state o ~period =
+  match by_window o ~period with
+  | [] | [ _ ] | [ _; _ ] -> None
+  | windows ->
+    let interior = List.tl (List.rev (List.tl (List.rev windows))) in
+    (match interior with
+     | [] -> None
+     | w0 :: rest ->
+       let key w = (w.arrived, w.served) in
+       if List.for_all (fun w -> key w = key w0) rest then Some (key w0)
+       else None)
+
+let pp fmt w =
+  Format.fprintf fmt "rounds %d..%d: arrived %d, served %d, failed %d"
+    w.start w.stop w.arrived w.served w.failed

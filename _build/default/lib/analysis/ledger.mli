@@ -1,0 +1,29 @@
+(** Windowed accounting of outcomes.
+
+    The lower-bound adversaries are periodic; slicing an outcome into
+    fixed windows shows the per-phase behaviour directly (how many
+    arrived, were served, failed in each slice) and whether the run has
+    reached its steady state — the empirical counterpart of the
+    doubling-difference estimator. *)
+
+type window = {
+  start : int;       (** first round of the window (inclusive) *)
+  stop : int;        (** last round (inclusive) *)
+  arrived : int;     (** requests with arrival in the window *)
+  served : int;      (** of those, eventually served (anywhere) *)
+  failed : int;      (** of those, expired unserved *)
+}
+
+val by_window : Sched.Outcome.t -> period:int -> window list
+(** Slice the instance's rounds into consecutive windows of [period]
+    rounds (the last may be shorter) and attribute each request to the
+    window of its {e arrival}.
+    @raise Invalid_argument if [period < 1]. *)
+
+val steady_state : Sched.Outcome.t -> period:int -> (int * int) option
+(** The per-window [(arrived, served)] once it stabilises: the values
+    shared by all interior windows (first and last discarded as warm-up
+    and cool-down) when they agree, [None] when they don't — a quick
+    periodicity check for adversary constructions. *)
+
+val pp : Format.formatter -> window -> unit

@@ -1,0 +1,21 @@
+type t = { opt : int; alg : int; total : int; ratio : float }
+
+let of_outcome_with_opt (o : Sched.Outcome.t) ~opt =
+  let alg = o.Sched.Outcome.served in
+  {
+    opt;
+    alg;
+    total = Sched.Instance.n_requests o.Sched.Outcome.instance;
+    ratio =
+      (if opt = 0 && alg = 0 then nan
+       else float_of_int opt /. float_of_int alg);
+  }
+
+let of_outcome o =
+  of_outcome_with_opt o ~opt:(Offline.Opt.value o.Sched.Outcome.instance)
+
+let exact t = Prelude.Rat.make t.opt t.alg
+
+let pp fmt t =
+  Format.fprintf fmt "opt=%d alg=%d total=%d ratio=%.4f" t.opt t.alg t.total
+    t.ratio

@@ -1,0 +1,22 @@
+(** Competitive-ratio accounting: compare an online outcome with the
+    exact offline optimum of the same instance. *)
+
+type t = {
+  opt : int;            (** offline optimum (maximum matching in [G]) *)
+  alg : int;            (** requests the online strategy served *)
+  total : int;          (** requests in the instance *)
+  ratio : float;        (** [opt / alg] ([nan] when both are zero) *)
+}
+
+val of_outcome : Sched.Outcome.t -> t
+(** Computes the optimum via {!Offline.Opt.value} (grouped max-flow). *)
+
+val of_outcome_with_opt : Sched.Outcome.t -> opt:int -> t
+(** When the optimum is already known (e.g. an adversary's analytic
+    value, or a shared computation across strategies). *)
+
+val exact : t -> Prelude.Rat.t
+(** [opt / alg] as an exact rational.
+    @raise Division_by_zero when [alg = 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dataserver/placement.ml: Array Float Hashtbl List Prelude

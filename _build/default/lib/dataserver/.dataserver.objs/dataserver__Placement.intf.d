@@ -1,0 +1,1 @@
+lib/dataserver/placement.mli: Prelude

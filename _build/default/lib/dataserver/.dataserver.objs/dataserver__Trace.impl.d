@@ -1,0 +1,1 @@
+lib/dataserver/trace.ml: List Placement Prelude Sched

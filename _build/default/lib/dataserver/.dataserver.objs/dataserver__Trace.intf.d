@@ -1,0 +1,1 @@
+lib/dataserver/trace.mli: Placement Prelude Sched

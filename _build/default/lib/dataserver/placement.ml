@@ -1,0 +1,78 @@
+type t = {
+  disks : int;
+  items : int;
+  copies : int;
+  of_item : int array array;
+}
+
+let check ~disks ~items ~copies =
+  if disks < 1 then invalid_arg "Placement: disks must be >= 1";
+  if items < 1 then invalid_arg "Placement: items must be >= 1";
+  if copies < 1 || copies > disks then
+    invalid_arg "Placement: copies out of [1, disks]"
+
+let random ~rng ~disks ~items ~copies =
+  check ~disks ~items ~copies;
+  let of_item =
+    Array.init items (fun _ ->
+        let chosen = ref [] in
+        while List.length !chosen < copies do
+          let d = Prelude.Rng.int rng disks in
+          if not (List.mem d !chosen) then chosen := !chosen @ [ d ]
+        done;
+        Array.of_list !chosen)
+  in
+  { disks; items; copies; of_item }
+
+let partner ~disks ~items ~copies =
+  check ~disks ~items ~copies;
+  let of_item =
+    Array.init items (fun i ->
+        Array.init copies (fun j -> (i + j) mod disks))
+  in
+  { disks; items; copies; of_item }
+
+let striped ~disks ~items ~copies =
+  check ~disks ~items ~copies;
+  let shift = max 1 (disks / copies) in
+  let of_item =
+    Array.init items (fun i ->
+        Array.init copies (fun j -> (i + (j * shift)) mod disks))
+  in
+  (* the shift can collide for copies > disks/shift combinations; fall
+     back to consecutive slots to keep the copies distinct *)
+  Array.iteri
+    (fun i ds ->
+       let seen = Hashtbl.create 4 in
+       Array.iteri
+         (fun j d ->
+            let d = ref d in
+            while Hashtbl.mem seen !d do
+              d := (!d + 1) mod disks
+            done;
+            Hashtbl.replace seen !d ();
+            ds.(j) <- !d;
+            ignore j)
+         ds;
+       of_item.(i) <- ds)
+    of_item;
+  { disks; items; copies; of_item }
+
+let disks_of t item =
+  if item < 0 || item >= t.items then
+    invalid_arg "Placement.disks_of: unknown item";
+  Array.to_list t.of_item.(item)
+
+let load_spread t ~popularity =
+  let load = Array.make t.disks 0.0 in
+  for i = 0 to t.items - 1 do
+    let w = popularity i /. float_of_int t.copies in
+    Array.iter (fun d -> load.(d) <- load.(d) +. w) t.of_item.(i)
+  done;
+  let total = Array.fold_left ( +. ) 0.0 load in
+  if total <= 0.0 then 1.0
+  else begin
+    let mean = total /. float_of_int t.disks in
+    let worst = Array.fold_left Float.max 0.0 load in
+    worst /. mean
+  end

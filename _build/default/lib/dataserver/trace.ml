@@ -1,0 +1,73 @@
+module Rng = Prelude.Rng
+
+let pick_item rng ~placement ~zipf =
+  Rng.zipf rng ~n:placement.Placement.items ~s:zipf
+
+let point_requests ~rng ~placement ~rounds ~load ~d ?(zipf = 1.0) () =
+  if rounds < 1 then invalid_arg "Trace.point_requests: rounds must be >= 1";
+  let protos = ref [] in
+  for round = 0 to rounds - 1 do
+    let lambda = load *. float_of_int placement.Placement.disks in
+    let count = Rng.poisson rng ~lambda in
+    for _ = 1 to count do
+      let item = pick_item rng ~placement ~zipf in
+      protos :=
+        Sched.Request.make ~arrival:round
+          ~alternatives:(Placement.disks_of placement item)
+          ~deadline:d
+        :: !protos
+    done
+  done;
+  Sched.Instance.build ~n_resources:placement.Placement.disks ~d
+    (List.rev !protos)
+
+type session_stats = {
+  started : int;
+  mean_length : float;
+}
+
+let sessions ~rng ~placement ~rounds ~arrivals_per_round ~mean_length ~d
+    ?(zipf = 1.0) () =
+  if rounds < 1 then invalid_arg "Trace.sessions: rounds must be >= 1";
+  if mean_length < 1 then
+    invalid_arg "Trace.sessions: mean_length must be >= 1";
+  (* collect (arrival, item) per stream request, then sort by arrival
+     for the instance builder *)
+  let events = ref [] in
+  let started = ref 0 in
+  let total_length = ref 0 in
+  for round = 0 to rounds - 1 do
+    let newcomers = Rng.poisson rng ~lambda:arrivals_per_round in
+    for _ = 1 to newcomers do
+      incr started;
+      let item = pick_item rng ~placement ~zipf in
+      (* geometric with mean [mean_length] (at least one round) *)
+      let length =
+        1 + Rng.geometric rng ~p:(1.0 /. float_of_int mean_length)
+      in
+      total_length := !total_length + length;
+      for k = 0 to length - 1 do
+        let at = round + k in
+        if at < rounds then events := (at, item) :: !events
+      done
+    done
+  done;
+  let ordered = List.sort compare (List.rev !events) in
+  let protos =
+    List.map
+      (fun (arrival, item) ->
+         Sched.Request.make ~arrival
+           ~alternatives:(Placement.disks_of placement item)
+           ~deadline:d)
+      ordered
+  in
+  let inst =
+    Sched.Instance.build ~n_resources:placement.Placement.disks ~d protos
+  in
+  ( inst,
+    {
+      started = !started;
+      mean_length =
+        (if !started = 0 then 0.0
+         else float_of_int !total_length /. float_of_int !started);
+    } )

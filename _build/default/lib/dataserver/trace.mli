@@ -1,0 +1,36 @@
+(** Client traffic over a replicated catalogue.
+
+    Two generators, both turning item-level traffic into scheduling
+    instances through a {!Placement.t}:
+
+    - {!point_requests}: independent item accesses (OLTP-ish) — each
+      request is one row access with Zipf-popular items.
+    - {!sessions}: continuous-media streams in the spirit of the
+      paper's predecessor [MBLR97] ("online scheduling of continuous
+      media streams"): a client who starts a stream issues {e one
+      request per round for the stream's whole duration}, each against
+      the item's replica disks.  Hot movies therefore produce long
+      correlated bursts on the same disk pair — exactly the correlation
+      the paper's adversarial model warns idealised probabilistic
+      analyses about. *)
+
+val point_requests :
+  rng:Prelude.Rng.t -> placement:Placement.t -> rounds:int -> load:float ->
+  d:int -> ?zipf:float -> unit -> Sched.Instance.t
+(** Poisson([load * disks]) accesses per round; items Zipf-ranked with
+    exponent [zipf] (default 1.0); each access becomes a request for
+    the item's replica disks with deadline [d]. *)
+
+type session_stats = {
+  started : int;       (** sessions admitted into the trace *)
+  mean_length : float; (** mean requested stream length, in rounds *)
+}
+
+val sessions :
+  rng:Prelude.Rng.t -> placement:Placement.t -> rounds:int ->
+  arrivals_per_round:float -> mean_length:int -> d:int -> ?zipf:float ->
+  unit -> Sched.Instance.t * session_stats
+(** Poisson([arrivals_per_round]) new streams per round; each picks a
+    Zipf-popular item and a geometric duration with the given mean (at
+    least 1), then issues one request per round of its life (truncated
+    at [rounds]).  Deadline [d] models the client's playout buffer. *)

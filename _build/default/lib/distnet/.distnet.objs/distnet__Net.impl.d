@@ -1,0 +1,1 @@
+lib/distnet/net.ml: Array Hashtbl List Prelude

@@ -1,0 +1,1 @@
+lib/distnet/net.mli: Prelude

@@ -1,0 +1,95 @@
+type 'a message = {
+  sender : int;
+  dst : int;
+  deadline_key : int;
+  tagged : bool;
+  payload : 'a;
+}
+
+type t = {
+  n : int;
+  capacity : int;
+  priority : sender:int -> dst:int -> int;
+  loss : float;
+  loss_rng : Prelude.Rng.t;
+  mutable comm_rounds : int;
+  mutable sent : int;
+  mutable bounced : int;
+}
+
+let create ~n ~capacity ?(priority = fun ~sender:_ ~dst:_ -> 0)
+    ?(loss = 0.0) ?loss_rng () =
+  if n < 1 then invalid_arg "Net.create: n must be >= 1";
+  if capacity < 1 then invalid_arg "Net.create: capacity must be >= 1";
+  if not (loss >= 0.0 && loss <= 1.0) then
+    invalid_arg "Net.create: loss out of [0, 1]";
+  let loss_rng =
+    match loss_rng with
+    | Some rng -> rng
+    | None -> Prelude.Rng.create ~seed:0
+  in
+  { n; capacity; priority; loss; loss_rng;
+    comm_rounds = 0; sent = 0; bounced = 0 }
+
+let exchange t msgs =
+  match msgs with
+  | [] -> []
+  | _ :: _ ->
+    t.comm_rounds <- t.comm_rounds + 1;
+    t.sent <- t.sent + List.length msgs;
+    (* failure injection: drop untagged messages before the mailbox;
+       tagged messages keep their delivery guarantee *)
+    let survives m =
+      m.tagged || t.loss = 0.0
+      || Prelude.Rng.float t.loss_rng 1.0 >= t.loss
+    in
+    (* bucket by destination *)
+    let buckets = Array.make t.n [] in
+    List.iter
+      (fun m ->
+         if m.dst < 0 || m.dst >= t.n then
+           invalid_arg "Net.exchange: destination out of range";
+         if survives m then buckets.(m.dst) <- m :: buckets.(m.dst))
+      msgs;
+    let delivered = Hashtbl.create 64 in
+    Array.iteri
+      (fun dst inbox ->
+         let tagged, untagged = List.partition (fun m -> m.tagged) inbox in
+         List.iter (fun m -> Hashtbl.replace delivered (m.sender, dst) ()) tagged;
+         (* LDF: keep the [capacity] messages with the latest deadlines;
+            ties by higher priority, then lower sender id *)
+         let ranked =
+           List.sort
+             (fun a b ->
+                if a.deadline_key <> b.deadline_key then
+                  compare b.deadline_key a.deadline_key
+                else begin
+                  let pa = t.priority ~sender:a.sender ~dst
+                  and pb = t.priority ~sender:b.sender ~dst in
+                  if pa <> pb then compare pb pa
+                  else compare a.sender b.sender
+                end)
+             untagged
+         in
+         List.iteri
+           (fun i m ->
+              if i < t.capacity then
+                Hashtbl.replace delivered (m.sender, dst) ())
+           ranked)
+      buckets;
+    List.map
+      (fun m ->
+         let ok = Hashtbl.mem delivered (m.sender, m.dst) in
+         if not ok then t.bounced <- t.bounced + 1;
+         (m, ok))
+      msgs
+
+let tick t = t.comm_rounds <- t.comm_rounds + 1
+let comm_rounds t = t.comm_rounds
+let messages_sent t = t.sent
+let messages_bounced t = t.bounced
+
+let reset_counters t =
+  t.comm_rounds <- 0;
+  t.sent <- 0;
+  t.bounced <- 0

@@ -1,0 +1,1 @@
+lib/graph/altpath.ml: Array Bipartite Hashtbl List Matching Option Prelude

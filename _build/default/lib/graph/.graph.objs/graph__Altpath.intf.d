@@ -1,0 +1,1 @@
+lib/graph/altpath.mli: Bipartite Matching

@@ -1,0 +1,1 @@
+lib/graph/brute.ml: Array Bipartite Lexvec List

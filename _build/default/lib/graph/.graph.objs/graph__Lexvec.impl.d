@@ -1,0 +1,1 @@
+lib/graph/lexvec.ml: Array Stdlib String

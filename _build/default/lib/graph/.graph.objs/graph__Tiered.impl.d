@@ -1,0 +1,1 @@
+lib/graph/tiered.ml: Array Bipartite Lexvec List Matching Prelude Printf Queue

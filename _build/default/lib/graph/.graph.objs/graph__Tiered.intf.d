@@ -1,0 +1,1 @@
+lib/graph/tiered.mli: Bipartite Lexvec Matching

@@ -1,0 +1,121 @@
+module Ivec = Prelude.Ivec
+
+type kind =
+  | Augmenting_first
+  | Augmenting_second
+  | Even_path
+  | Cycle
+
+type component = {
+  kind : kind;
+  edges : int list;
+  n_left : int;
+  n_right : int;
+}
+
+(* Vertices are encoded left as [2u], right as [2v+1] so one adjacency
+   table serves both sides. *)
+let decompose g m1 m2 =
+  let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+  let in_m1 id = m1.Matching.left_edge.(Bipartite.edge_left g id) = id in
+  let in_m2 id = m2.Matching.left_edge.(Bipartite.edge_left g id) = id in
+  let adj = Array.init (2 * max 1 (max nl nr)) (fun _ -> Ivec.create ~capacity:2 ()) in
+  let sym_edges = Ivec.create () in
+  Bipartite.iter_edges g (fun id ~left ~right ->
+      if in_m1 id <> in_m2 id then begin
+        Ivec.push adj.(2 * left) id;
+        Ivec.push adj.((2 * right) + 1) id;
+        Ivec.push sym_edges id
+      end);
+  let edge_seen = Hashtbl.create 16 in
+  let other_endpoint id v =
+    let l = 2 * Bipartite.edge_left g id
+    and r = (2 * Bipartite.edge_right g id) + 1 in
+    if v = l then r else l
+  in
+  (* walk from vertex [v] along unseen symdiff edges, collecting edge ids *)
+  let walk start =
+    let rec go v acc =
+      let next =
+        Ivec.fold
+          (fun found id ->
+             match found with
+             | Some _ -> found
+             | None ->
+               if Hashtbl.mem edge_seen id then None else Some id)
+          None adj.(v)
+      in
+      match next with
+      | None -> (v, List.rev acc)
+      | Some id ->
+        Hashtbl.replace edge_seen id ();
+        go (other_endpoint id v) (id :: acc)
+    in
+    go start []
+  in
+  let classify_path endpoint_a endpoint_b =
+    let free_in_m1 v =
+      if v mod 2 = 0 then not (Matching.is_matched_left m1 (v / 2))
+      else not (Matching.is_matched_right m1 (v / 2))
+    in
+    match (free_in_m1 endpoint_a, free_in_m1 endpoint_b) with
+    | true, true -> Augmenting_first
+    | false, false -> Augmenting_second
+    | true, false | false, true -> Even_path
+  in
+  let stats edges =
+    let lefts = Hashtbl.create 8 and rights = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+         Hashtbl.replace lefts (Bipartite.edge_left g id) ();
+         Hashtbl.replace rights (Bipartite.edge_right g id) ())
+      edges;
+    (Hashtbl.length lefts, Hashtbl.length rights)
+  in
+  let components = ref [] in
+  (* paths first: start from degree-1 vertices *)
+  let degree v = Ivec.length adj.(v) in
+  let visit_path_from v =
+    if degree v = 1 then begin
+      let only = Ivec.get adj.(v) 0 in
+      if not (Hashtbl.mem edge_seen only) then begin
+        let endpoint, edges = walk v in
+        let n_left, n_right = stats edges in
+        components :=
+          { kind = classify_path v endpoint; edges; n_left; n_right }
+          :: !components
+      end
+    end
+  in
+  for v = 0 to Array.length adj - 1 do
+    visit_path_from v
+  done;
+  (* remaining unseen symdiff edges belong to cycles *)
+  Ivec.iter
+    (fun id ->
+       if not (Hashtbl.mem edge_seen id) then begin
+         let start = 2 * Bipartite.edge_left g id in
+         let _, edges = walk start in
+         let n_left, n_right = stats edges in
+         components := { kind = Cycle; edges; n_left; n_right } :: !components
+       end)
+    sym_edges;
+  List.rev !components
+
+(* A path's endpoints: one is a free request (left, in the augmenting-M1
+   case) and the other a free slot; every interior request appears with
+   both its edges, so the number of request nodes equals the paper's
+   order ℓ. *)
+let order c = c.n_left
+
+let census g m1 m2 =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+       match c.kind with
+       | Augmenting_first ->
+         let o = order c in
+         Hashtbl.replace tbl o (1 + Option.value ~default:0 (Hashtbl.find_opt tbl o))
+       | Augmenting_second | Even_path | Cycle -> ())
+    (decompose g m1 m2);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,35 @@
+(** Alternating path/cycle decomposition of two matchings.
+
+    For matchings [M1] (the online algorithm's) and [M2] (the optimum's)
+    in the same graph, the symmetric difference [M1 ⊕ M2] decomposes into
+    node-disjoint alternating paths and cycles (Sec. 1.2 of the paper).
+    Augmenting paths for [M1] witness exactly where the online algorithm
+    lost requests, and the paper's upper-bound proofs constrain their
+    {e order} (number of request nodes on the path); the analysis layer
+    audits those constraints on real runs through this module. *)
+
+type kind =
+  | Augmenting_first   (** both endpoints free in [M1]: augments [M1] *)
+  | Augmenting_second  (** both endpoints free in [M2]: augments [M2] *)
+  | Even_path          (** one endpoint free in each: equal edge counts *)
+  | Cycle
+
+type component = {
+  kind : kind;
+  edges : int list;  (** edge ids in walk order along the component *)
+  n_left : int;      (** distinct left vertices on the component *)
+  n_right : int;     (** distinct right vertices on the component *)
+}
+
+val decompose : Bipartite.t -> Matching.t -> Matching.t -> component list
+(** All components of [M1 ⊕ M2].  Edges present in both matchings (or in
+    neither) do not appear. *)
+
+val order : component -> int
+(** The paper's order of an augmenting path: its number of request (left)
+    vertices. *)
+
+val census : Bipartite.t -> Matching.t -> Matching.t -> (int * int) list
+(** [(order, count)] pairs, ascending, over the [Augmenting_first]
+    components of [decompose g m1 m2]: the orders of the augmenting paths
+    available to the optimum against the online matching. *)

@@ -1,0 +1,46 @@
+(* Branch on each edge id in order: skip it, or (if both endpoints are
+   still free) take it.  2^E worst case; tests keep E small. *)
+
+let fold_matchings g ~init ~f =
+  let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+  let used_l = Array.make nl false and used_r = Array.make nr false in
+  let ne = Bipartite.n_edges g in
+  let acc = ref init in
+  let taken = ref [] in
+  let rec go id =
+    if id >= ne then acc := f !acc !taken
+    else begin
+      go (id + 1);
+      let u = Bipartite.edge_left g id and v = Bipartite.edge_right g id in
+      if (not used_l.(u)) && not used_r.(v) then begin
+        used_l.(u) <- true;
+        used_r.(v) <- true;
+        taken := id :: !taken;
+        go (id + 1);
+        taken := List.tl !taken;
+        used_l.(u) <- false;
+        used_r.(v) <- false
+      end
+    end
+  in
+  go 0;
+  !acc
+
+let max_matching_size g =
+  fold_matchings g ~init:0 ~f:(fun best taken ->
+      max best (List.length taken))
+
+let max_weight g ~weight =
+  let ne = Bipartite.n_edges g in
+  let k = if ne = 0 then 0 else Array.length (weight 0) in
+  let zero = Lexvec.zero k in
+  fold_matchings g ~init:zero ~f:(fun best taken ->
+      let w =
+        List.fold_left (fun acc id -> Lexvec.add acc (weight id)) zero taken
+      in
+      Lexvec.max best w)
+
+let count_maximum_matchings g =
+  let best = max_matching_size g in
+  fold_matchings g ~init:0 ~f:(fun count taken ->
+      if List.length taken = best then count + 1 else count)

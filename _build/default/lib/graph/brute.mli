@@ -1,0 +1,15 @@
+(** Exponential-time matching oracles, for tests only.
+
+    Enumerates matchings by branching on edges in id order.  Keep graphs
+    tiny (≈ 12 edges or fewer); the property tests use these as ground
+    truth for {!Hopcroft_karp} and {!Tiered}. *)
+
+val max_matching_size : Bipartite.t -> int
+(** Cardinality of a maximum matching, by exhaustive branching. *)
+
+val max_weight : Bipartite.t -> weight:(int -> Lexvec.t) -> Lexvec.t
+(** Lexicographic maximum of total matching weight over all matchings
+    (including the empty one). *)
+
+val count_maximum_matchings : Bipartite.t -> int
+(** Number of distinct maximum-cardinality matchings. *)

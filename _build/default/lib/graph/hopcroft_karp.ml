@@ -1,0 +1,151 @@
+module Ivec = Prelude.Ivec
+
+(* Standard Hopcroft–Karp.  [dist] holds BFS levels over free left
+   vertices; the DFS extends along level-increasing edges only, so each
+   phase augments along shortest paths and the number of phases is
+   O(sqrt V). *)
+
+let infinity_dist = max_int
+
+let solve_from g start =
+  let n_l = Bipartite.n_left g in
+  let m = Matching.copy start in
+  let dist = Array.make n_l infinity_dist in
+  let queue = Queue.create () in
+
+  (* BFS from all free left vertices; returns true if some free right
+     vertex is reachable (i.e. an augmenting path exists). *)
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for u = 0 to n_l - 1 do
+      if not (Matching.is_matched_left m u) then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- infinity_dist
+    done;
+    let frontier_limit = ref infinity_dist in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      if dist.(u) < !frontier_limit then
+        Ivec.iter
+          (fun id ->
+             let v = Bipartite.edge_right g id in
+             let u' = m.Matching.right_to.(v) in
+             if u' < 0 then begin
+               (* free right vertex: stop expanding deeper levels *)
+               if !frontier_limit = infinity_dist then
+                 frontier_limit := dist.(u) + 1;
+               found := true
+             end
+             else if dist.(u') = infinity_dist then begin
+               dist.(u') <- dist.(u) + 1;
+               Queue.add u' queue
+             end)
+          (Bipartite.adj_left g u)
+    done;
+    !found
+  in
+
+  (* DFS along level-increasing edges; flips matching in place. *)
+  let rec dfs u =
+    let adj = Bipartite.adj_left g u in
+    let n = Ivec.length adj in
+    let rec try_edge i =
+      if i >= n then begin
+        dist.(u) <- infinity_dist;
+        false
+      end
+      else begin
+        let id = Ivec.get adj i in
+        let v = Bipartite.edge_right g id in
+        let u' = m.Matching.right_to.(v) in
+        let extends =
+          if u' < 0 then true
+          else if dist.(u') = dist.(u) + 1 then dfs u'
+          else false
+        in
+        if extends then begin
+          (* rematch u across v, displacing nothing (u' was rematched by
+             the recursive call already) *)
+          if m.Matching.left_to.(u) >= 0 then Matching.drop_left m u;
+          m.Matching.left_to.(u) <- v;
+          m.Matching.right_to.(v) <- u;
+          m.Matching.left_edge.(u) <- id;
+          true
+        end
+        else try_edge (i + 1)
+      end
+    in
+    try_edge 0
+  in
+
+  while bfs () do
+    for u = 0 to n_l - 1 do
+      if not (Matching.is_matched_left m u) then ignore (dfs u : bool)
+    done
+  done;
+  m
+
+let solve g = solve_from g (Matching.empty g)
+
+let max_matching_size g = Matching.size (solve g)
+
+(* Koenig: mark everything reachable from free left vertices by
+   alternating paths (unmatched edge left->right, matched edge
+   right->left).  Cover = unmarked lefts + marked rights. *)
+let koenig_marks g m =
+  let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+  let mark_l = Array.make nl false and mark_r = Array.make nr false in
+  let queue = Queue.create () in
+  for u = 0 to nl - 1 do
+    if not (Matching.is_matched_left m u) then begin
+      mark_l.(u) <- true;
+      Queue.add u queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Ivec.iter
+      (fun id ->
+         if m.Matching.left_edge.(u) <> id then begin
+           let v = Bipartite.edge_right g id in
+           if not mark_r.(v) then begin
+             mark_r.(v) <- true;
+             let u' = m.Matching.right_to.(v) in
+             if u' >= 0 && not mark_l.(u') then begin
+               mark_l.(u') <- true;
+               Queue.add u' queue
+             end
+           end
+         end)
+      (Bipartite.adj_left g u)
+  done;
+  (mark_l, mark_r)
+
+let min_vertex_cover g m =
+  let mark_l, mark_r = koenig_marks g m in
+  let lefts = ref [] and rights = ref [] in
+  for u = Bipartite.n_left g - 1 downto 0 do
+    if not mark_l.(u) then lefts := u :: !lefts
+  done;
+  for v = Bipartite.n_right g - 1 downto 0 do
+    if mark_r.(v) then rights := v :: !rights
+  done;
+  (!lefts, !rights)
+
+let is_koenig_certificate g m =
+  if not (Matching.is_valid g m) then false
+  else begin
+    let lefts, rights = min_vertex_cover g m in
+    let in_l = Array.make (Bipartite.n_left g) false in
+    let in_r = Array.make (Bipartite.n_right g) false in
+    List.iter (fun u -> in_l.(u) <- true) lefts;
+    List.iter (fun v -> in_r.(v) <- true) rights;
+    let covers_all = ref true in
+    Bipartite.iter_edges g (fun _ ~left ~right ->
+        if (not in_l.(left)) && not in_r.(right) then covers_all := false);
+    !covers_all
+    && List.length lefts + List.length rights = Matching.size m
+  end

@@ -1,0 +1,48 @@
+type t = int array
+
+let zero k = Array.make k 0
+
+let unit k i =
+  let v = Array.make k 0 in
+  v.(i) <- 1;
+  v
+
+let of_array a = a
+
+let check_len a b op =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Lexvec." ^ op ^ ": length mismatch")
+
+let add a b =
+  check_len a b "add";
+  Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+
+let neg a = Array.map (fun x -> -x) a
+
+let sub a b =
+  check_len a b "sub";
+  Array.init (Array.length a) (fun i -> a.(i) - b.(i))
+
+let compare a b =
+  check_len a b "compare";
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let is_positive a = compare a (zero (Array.length a)) > 0
+let is_negative a = compare a (zero (Array.length a)) < 0
+
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+
+let to_string a =
+  "(" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ ")"

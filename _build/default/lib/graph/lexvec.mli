@@ -1,0 +1,38 @@
+(** Integer weight vectors under lexicographic order.
+
+    The tiered-weight matching engine ({!Tiered}) expresses strategy
+    objectives as ranked tiers: a weight is a short vector of ints, added
+    pointwise and compared lexicographically (earlier components dominate).
+    [(Z^k, +, <=_lex)] is a totally ordered abelian group, which is exactly
+    what successive-shortest-path augmentation needs, so the engine is
+    exact without ever forming the huge scalar weights
+    [(n+1)^(d-j)] from the paper's balancing function [F]. *)
+
+type t = int array
+(** Weights of one problem must share a common length. *)
+
+val zero : int -> t
+(** [zero k] is the additive identity of length [k]. *)
+
+val unit : int -> int -> t
+(** [unit k i] has a single 1 at index [i]. *)
+
+val of_array : int array -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val compare : t -> t -> int
+(** Lexicographic; vectors must have equal length. *)
+
+val equal : t -> t -> bool
+val is_positive : t -> bool
+(** Strictly greater than zero. *)
+
+val is_negative : t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+val to_string : t -> string
+(** e.g. ["(1,0,3)"], for diagnostics. *)

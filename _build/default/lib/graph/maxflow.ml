@@ -1,0 +1,155 @@
+module Ivec = Prelude.Ivec
+
+(* Adjacency holds indices into the shared arc arrays; arc [2k] and
+   [2k+1] are mutual reverses, so the reverse of arc [a] is [a lxor 1]. *)
+
+type t = {
+  n_nodes : int;
+  mutable caps : Ivec.t;  (* residual capacity per arc *)
+  mutable dsts : Ivec.t;  (* head node per arc *)
+  adj : Ivec.t array;     (* node -> arc indices *)
+  mutable level : int array;
+  mutable iter : int array;
+}
+
+let create ~n_nodes =
+  if n_nodes <= 0 then invalid_arg "Maxflow.create: n_nodes must be positive";
+  {
+    n_nodes;
+    caps = Ivec.create ();
+    dsts = Ivec.create ();
+    adj = Array.init n_nodes (fun _ -> Ivec.create ~capacity:4 ());
+    level = Array.make n_nodes (-1);
+    iter = Array.make n_nodes 0;
+  }
+
+let n_nodes t = t.n_nodes
+
+let add_edge t ~src ~dst ~cap =
+  if src < 0 || src >= t.n_nodes || dst < 0 || dst >= t.n_nodes then
+    invalid_arg "Maxflow.add_edge: endpoint out of range";
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  let a = Ivec.length t.caps in
+  Ivec.push t.caps cap;
+  Ivec.push t.dsts dst;
+  Ivec.push t.adj.(src) a;
+  Ivec.push t.caps 0;
+  Ivec.push t.dsts src;
+  Ivec.push t.adj.(dst) (a + 1);
+  a / 2
+
+let bfs t ~source ~sink =
+  Array.fill t.level 0 t.n_nodes (-1);
+  let q = Queue.create () in
+  t.level.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Ivec.iter
+      (fun a ->
+         let v = Ivec.get t.dsts a in
+         if Ivec.get t.caps a > 0 && t.level.(v) < 0 then begin
+           t.level.(v) <- t.level.(u) + 1;
+           Queue.add v q
+         end)
+      t.adj.(u)
+  done;
+  t.level.(sink) >= 0
+
+let rec dfs t ~sink u pushed =
+  if u = sink then pushed
+  else begin
+    let adj = t.adj.(u) in
+    let n = Ivec.length adj in
+    let result = ref 0 in
+    while !result = 0 && t.iter.(u) < n do
+      let a = Ivec.get adj t.iter.(u) in
+      let v = Ivec.get t.dsts a in
+      let cap = Ivec.get t.caps a in
+      if cap > 0 && t.level.(v) = t.level.(u) + 1 then begin
+        let got = dfs t ~sink v (min pushed cap) in
+        if got > 0 then begin
+          Ivec.set t.caps a (cap - got);
+          Ivec.set t.caps (a lxor 1) (Ivec.get t.caps (a lxor 1) + got);
+          result := got
+        end
+        else t.iter.(u) <- t.iter.(u) + 1
+      end
+      else t.iter.(u) <- t.iter.(u) + 1
+    done;
+    !result
+  end
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let total = ref 0 in
+  while bfs t ~source ~sink do
+    Array.fill t.iter 0 t.n_nodes 0;
+    let continue_ = ref true in
+    while !continue_ do
+      let got = dfs t ~sink source max_int in
+      if got = 0 then continue_ := false else total := !total + got
+    done
+  done;
+  !total
+
+let residual_reachable t ~source =
+  let seen = Array.make t.n_nodes false in
+  let q = Queue.create () in
+  seen.(source) <- true;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Ivec.iter
+      (fun a ->
+         let v = Ivec.get t.dsts a in
+         if Ivec.get t.caps a > 0 && not seen.(v) then begin
+           seen.(v) <- true;
+           Queue.add v q
+         end)
+      t.adj.(u)
+  done;
+  seen
+
+let min_cut t ~source =
+  let seen = residual_reachable t ~source in
+  let acc = ref [] in
+  for v = t.n_nodes - 1 downto 0 do
+    if seen.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let is_cut_certificate t ~source ~sink ~flow =
+  let seen = residual_reachable t ~source in
+  if seen.(sink) then false
+  else begin
+    (* original capacity of forward arc [2k] is residual + flow on it;
+       sum capacities of arcs leaving the source side *)
+    let crossing = ref 0 in
+    let n_arcs = Ivec.length t.caps in
+    let a = ref 0 in
+    while !a < n_arcs do
+      (* even indices are the original (forward) arcs *)
+      let src_side =
+        (* the tail of arc a is the head of its reverse *)
+        seen.(Ivec.get t.dsts (!a + 1))
+      in
+      let dst_side = seen.(Ivec.get t.dsts !a) in
+      if src_side && not dst_side then begin
+        let original_cap = Ivec.get t.caps !a + Ivec.get t.caps (!a + 1) in
+        (* flow on the arc = residual of its reverse, but the reverse's
+           residual also includes any initial reverse capacity (always 0
+           here: add_edge creates reverses with capacity 0) *)
+        crossing := !crossing + original_cap
+      end;
+      a := !a + 2
+    done;
+    !crossing = flow
+  end
+
+let flow_on t id =
+  let a = 2 * id in
+  if a < 0 || a >= Ivec.length t.caps then
+    invalid_arg "Maxflow.flow_on: arc id out of range";
+  (* flow = residual capacity accumulated on the reverse arc *)
+  Ivec.get t.caps (a + 1)

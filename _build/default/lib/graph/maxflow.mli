@@ -1,0 +1,43 @@
+(** Integer maximum flow (Dinic's algorithm).
+
+    Adversarial instances contain large groups of identical requests (the
+    paper's [block(a,d)] structures); collapsing each group to one node
+    with capacity = group size turns the offline-optimum computation from
+    a huge expanded matching into a small flow problem.  Complexity
+    [O(V² E)] in general and [O(E √V)] on unit networks — far more than
+    enough for every instance in the harness. *)
+
+type t
+
+val create : n_nodes:int -> t
+(** A flow network on nodes [0 .. n_nodes-1] with no arcs. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> int
+(** Add a directed arc with the given capacity (its reverse arc with
+    capacity 0 is added implicitly) and return an arc id usable with
+    {!flow_on}.
+    @raise Invalid_argument on out-of-range endpoints or negative
+    capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Run Dinic to completion and return the flow pushed {e by this call}.
+    On a fresh network that is the max-flow value.  Calling again (e.g.
+    after adding arcs) retains the flow already routed and returns only
+    the additional amount. *)
+
+val flow_on : t -> int -> int
+(** Flow currently routed through the given arc id. *)
+
+val min_cut : t -> source:int -> int list
+(** After {!max_flow} has run to completion: the source side of a
+    minimum cut (the nodes reachable from [source] in the residual
+    graph).  By max-flow/min-cut the capacity crossing out of this set
+    equals the flow value; {!is_cut_certificate} checks it. *)
+
+val is_cut_certificate : t -> source:int -> sink:int -> flow:int -> bool
+(** Verify that the residual reachability cut after a completed
+    {!max_flow} separates source from sink and that exactly [flow]
+    units of original capacity cross it — a self-contained optimality
+    certificate. *)
+
+val n_nodes : t -> int

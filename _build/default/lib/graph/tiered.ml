@@ -1,0 +1,249 @@
+module Ivec = Prelude.Ivec
+
+(* Residual digraph of a matching M:
+     - unmatched edge (u,v): arc u -> v with gain +w(e)
+     - matched edge (u,v):  arc v -> u with gain -w(e)
+   An augmenting path is a residual path from a free left vertex to a free
+   right vertex; its total gain is the weight change of augmenting along
+   it.  While the current matching is maximum-weight among matchings of
+   its cardinality, the residual graph has no positive-gain cycle, so
+   queue-based Bellman-Ford (SPFA) computes maximum-gain paths in finite
+   time. *)
+
+type state = {
+  g : Bipartite.t;
+  w : Lexvec.t array; (* edge id -> weight *)
+  zero : Lexvec.t;
+  m : Matching.t;
+  dist_l : Lexvec.t option array;
+  dist_r : Lexvec.t option array;
+  parent_l : int array; (* left vertex  -> matched edge used to reach it *)
+  parent_r : int array; (* right vertex -> unmatched edge used to reach it *)
+}
+
+let load_weights g ~weight =
+  let ne = Bipartite.n_edges g in
+  let w = Array.init ne weight in
+  if ne > 0 then begin
+    let k = Array.length w.(0) in
+    Array.iteri
+      (fun id v ->
+         if Array.length v <> k then
+           invalid_arg
+             (Printf.sprintf
+                "Tiered: edge %d weight length %d, expected %d" id
+                (Array.length v) k))
+      w
+  end;
+  w
+
+let make_state g ~weight =
+  let w = load_weights g ~weight in
+  let k = if Array.length w = 0 then 0 else Array.length w.(0) in
+  {
+    g;
+    w;
+    zero = Lexvec.zero k;
+    m = Matching.empty g;
+    dist_l = Array.make (Bipartite.n_left g) None;
+    dist_r = Array.make (Bipartite.n_right g) None;
+    parent_l = Array.make (Bipartite.n_left g) (-1);
+    parent_r = Array.make (Bipartite.n_right g) (-1);
+  }
+
+(* One SPFA sweep from all free left vertices.  Fills dist/parent arrays.
+   The relaxation budget guards the internal no-positive-cycle invariant:
+   exceeding it means the invariant was broken (a bug), not bad input. *)
+let spfa st =
+  let nl = Bipartite.n_left st.g and nr = Bipartite.n_right st.g in
+  Array.fill st.dist_l 0 nl None;
+  Array.fill st.dist_r 0 nr None;
+  Array.fill st.parent_l 0 nl (-1);
+  Array.fill st.parent_r 0 nr (-1);
+  (* queue of vertices: left encoded as v, right as nl + v *)
+  let queue = Queue.create () in
+  let in_queue = Array.make (nl + nr) false in
+  let push code =
+    if not in_queue.(code) then begin
+      in_queue.(code) <- true;
+      Queue.add code queue
+    end
+  in
+  for u = 0 to nl - 1 do
+    if not (Matching.is_matched_left st.m u) then begin
+      st.dist_l.(u) <- Some st.zero;
+      push u
+    end
+  done;
+  let budget =
+    let v = nl + nr and e = Bipartite.n_edges st.g in
+    (v + 1) * (e + 1) * 2
+  in
+  let steps = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr steps;
+    if !steps > budget then
+      failwith "Tiered.spfa: relaxation budget exceeded (positive cycle?)";
+    let code = Queue.pop queue in
+    in_queue.(code) <- false;
+    if code < nl then begin
+      (* left vertex: relax along its non-matching edges *)
+      let u = code in
+      match st.dist_l.(u) with
+      | None -> ()
+      | Some du ->
+        Ivec.iter
+          (fun id ->
+             if st.m.Matching.left_edge.(u) <> id then begin
+               let v = Bipartite.edge_right st.g id in
+               let cand = Lexvec.add du st.w.(id) in
+               let better =
+                 match st.dist_r.(v) with
+                 | None -> true
+                 | Some dv -> Lexvec.compare cand dv > 0
+               in
+               if better then begin
+                 st.dist_r.(v) <- Some cand;
+                 st.parent_r.(v) <- id;
+                 push (nl + v)
+               end
+             end)
+          (Bipartite.adj_left st.g u)
+    end
+    else begin
+      (* right vertex: relax along its matching edge (if matched) *)
+      let v = code - nl in
+      match st.dist_r.(v) with
+      | None -> ()
+      | Some dv ->
+        let u = st.m.Matching.right_to.(v) in
+        if u >= 0 then begin
+          let id = st.m.Matching.left_edge.(u) in
+          let cand = Lexvec.sub dv st.w.(id) in
+          let better =
+            match st.dist_l.(u) with
+            | None -> true
+            | Some du -> Lexvec.compare cand du > 0
+          in
+          if better then begin
+            st.dist_l.(u) <- Some cand;
+            st.parent_l.(u) <- id;
+            push u
+          end
+        end
+    end
+  done
+
+(* Best free right vertex by gain, if any. *)
+let best_target st =
+  let nr = Bipartite.n_right st.g in
+  let best = ref None in
+  for v = 0 to nr - 1 do
+    if not (Matching.is_matched_right st.m v) then
+      match st.dist_r.(v) with
+      | None -> ()
+      | Some dv ->
+        (match !best with
+         | Some (_, d) when Lexvec.compare dv d <= 0 -> ()
+         | _ -> best := Some (v, dv))
+  done;
+  !best
+
+(* Reconstruct the augmenting path ending at free right vertex [v] as the
+   edge list from the free left start (even positions unmatched, odd
+   matched), then flip it. *)
+let augment st v =
+  let rec collect v acc =
+    let e = st.parent_r.(v) in
+    assert (e >= 0);
+    let u = Bipartite.edge_left st.g e in
+    if Matching.is_matched_left st.m u then begin
+      let e' = st.m.Matching.left_edge.(u) in
+      (* reached u by stealing it from its matched slot; continue from
+         the slot we freed *)
+      assert (st.parent_l.(u) = e');
+      collect (Bipartite.edge_right st.g e') (e' :: e :: acc)
+    end
+    else e :: acc
+  in
+  let path = collect v [] in
+  Matching.augment_along st.g st.m path
+
+let solve g ~weight =
+  let st = make_state g ~weight in
+  let continue_ = ref true in
+  while !continue_ do
+    spfa st;
+    match best_target st with
+    | Some (v, gain) when Lexvec.compare gain st.zero > 0 -> augment st v
+    | Some _ | None -> continue_ := false
+  done;
+  st.m
+
+let weight_of g ~weight m =
+  let w = load_weights g ~weight in
+  let k = if Array.length w = 0 then 0 else Array.length w.(0) in
+  List.fold_left
+    (fun acc id -> Lexvec.add acc w.(id))
+    (Lexvec.zero k) (Matching.matched_edges m)
+
+(* Optimality certificate.  (1) No augmenting path of positive gain:
+   free-left-source SPFA must give non-positive gain at every free right
+   vertex.  (2) No positive alternating cycle: Bellman-Ford with all
+   distances seeded to zero; if any distance can still improve after
+   V full rounds, a positive cycle exists. *)
+let is_max_weight_certificate g ~weight m =
+  let w = load_weights g ~weight in
+  let k = if Array.length w = 0 then 0 else Array.length w.(0) in
+  let zero = Lexvec.zero k in
+  let st =
+    {
+      g;
+      w;
+      zero;
+      m = Matching.copy m;
+      dist_l = Array.make (Bipartite.n_left g) None;
+      dist_r = Array.make (Bipartite.n_right g) None;
+      parent_l = Array.make (Bipartite.n_left g) (-1);
+      parent_r = Array.make (Bipartite.n_right g) (-1);
+    }
+  in
+  let no_augmenting =
+    try
+      spfa st;
+      match best_target st with
+      | Some (_, gain) -> Lexvec.compare gain zero <= 0
+      | None -> true
+    with Failure _ -> false
+  in
+  if not no_augmenting then false
+  else begin
+    (* positive-cycle detection by dense Bellman-Ford *)
+    let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+    let dl = Array.make nl zero and dr = Array.make nr zero in
+    let changed = ref true in
+    let rounds = ref 0 in
+    let has_cycle = ref false in
+    while !changed && not !has_cycle do
+      changed := false;
+      incr rounds;
+      Bipartite.iter_edges g (fun id ~left ~right ->
+          if m.Matching.left_edge.(left) = id then begin
+            (* matched: arc right -> left with -w *)
+            let cand = Lexvec.sub dr.(right) w.(id) in
+            if Lexvec.compare cand dl.(left) > 0 then begin
+              dl.(left) <- cand;
+              changed := true
+            end
+          end
+          else begin
+            let cand = Lexvec.add dl.(left) w.(id) in
+            if Lexvec.compare cand dr.(right) > 0 then begin
+              dr.(right) <- cand;
+              changed := true
+            end
+          end);
+      if !rounds > nl + nr + 1 then has_cycle := true
+    done;
+    not !has_cycle
+  end

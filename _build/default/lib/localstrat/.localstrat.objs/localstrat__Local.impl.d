@@ -1,0 +1,1 @@
+lib/localstrat/local.ml: Array Distnet Hashtbl List Prelude Sched

@@ -1,0 +1,1 @@
+lib/localstrat/local.mli: Sched

@@ -1,0 +1,1 @@
+lib/offline/opt.ml: Array Graph Hashtbl List Option Sched Set

@@ -1,0 +1,1 @@
+lib/offline/opt.mli: Graph Sched

@@ -1,0 +1,35 @@
+(** Offline optimum: the benchmark every competitive ratio divides by.
+
+    The optimum number of servable requests equals the size of a maximum
+    matching in the paper's graph [G] ({!Sched.Paper_graph}).  Three
+    routes are provided:
+
+    - {!expanded}: Hopcroft–Karp on the one-node-per-request graph.
+      Exact, and the reference implementation.
+    - {!grouped}: Dinic max-flow after collapsing identical requests
+      (same arrival, alternatives and deadline) into capacity-weighted
+      group nodes.  Exact and far faster on the adversarial instances,
+      whose [block(a,d)] structures contain huge identical groups.
+    - {!value}: the default entry point (currently {!grouped}).
+
+    {!single_alternative_edf} solves the restricted one-alternative model
+    greedily, giving an independent oracle for Observation 3.1 tests. *)
+
+val expanded : Sched.Instance.t -> int
+(** Maximum matching size of [G] by Hopcroft–Karp. *)
+
+val expanded_matching :
+  Sched.Instance.t -> Graph.Bipartite.t * Graph.Matching.t
+(** The graph [G] and one maximum matching in it (for alternating-path
+    analysis against an online outcome). *)
+
+val grouped : Sched.Instance.t -> int
+(** Maximum matching size via grouped max-flow. *)
+
+val value : Sched.Instance.t -> int
+(** The offline optimum (grouped route). *)
+
+val single_alternative_edf : Sched.Instance.t -> int
+(** Greedy earliest-deadline-first optimum for instances in which every
+    request has exactly one alternative.
+    @raise Invalid_argument if some request has more than one. *)

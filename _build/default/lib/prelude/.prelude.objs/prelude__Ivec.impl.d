@@ -1,0 +1,1 @@
+lib/prelude/ivec.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/prelude/parmap.ml: Array Domain List

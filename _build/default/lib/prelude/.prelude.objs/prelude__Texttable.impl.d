@@ -1,0 +1,1 @@
+lib/prelude/texttable.ml: Array Buffer Float List Printf String

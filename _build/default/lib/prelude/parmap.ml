@@ -1,0 +1,45 @@
+let recommended_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+type 'b cell = Pending | Done of 'b | Failed of exn
+
+let mapi ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> recommended_domains ()
+  in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else if domains = 1 || n <= 1 then
+    List.mapi f xs
+  else begin
+    let results = Array.make n Pending in
+    let workers = min domains n in
+    (* static block partition: task i goes to domain (i mod workers);
+       tasks are independent simulations of comparable cost, so the
+       round-robin split balances well without a work queue *)
+    let run_worker w () =
+      let i = ref w in
+      while !i < n do
+        (results.(!i) <-
+           (match f !i items.(!i) with
+            | v -> Done v
+            | exception e -> Failed e));
+        i := !i + workers
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun w -> Domain.spawn (run_worker (w + 1)))
+    in
+    run_worker 0 ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Failed e -> raise e
+           | Pending -> assert false)
+         results)
+  end
+
+let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs

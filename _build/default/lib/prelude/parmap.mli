@@ -1,0 +1,24 @@
+(** Parallel map over OCaml 5 domains.
+
+    The experiment harness runs many independent simulations (seeds ×
+    loads × strategies); this module fans them out over domains with a
+    static block partition — no dependencies between tasks, deterministic
+    result order, exceptions re-raised in the caller.
+
+    Tasks must not share mutable state (every simulation in this library
+    owns its instance, strategy state and RNG; the one shared cache, the
+    Zipf CDF table, is mutex-protected). *)
+
+val recommended_domains : unit -> int
+(** [max 1 (cpu count - 1)], capped at 8: leave a core for the runtime
+    and avoid oversubscription on big machines. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs] computed on up to [domains]
+    domains (default {!recommended_domains}).  Order is preserved.  If
+    any task raises, the first exception (in input order) is re-raised
+    after all domains have joined.  With [domains = 1] or a short input
+    list this degrades to plain [List.map] with no domain spawns. *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Indexed variant. *)

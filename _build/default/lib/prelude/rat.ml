@@ -1,0 +1,86 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Overflow-checked primitives: detect by reversing the operation. *)
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let checked_add a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let make num den =
+  if den = 0 then invalid_arg "Rat.make: zero denominator";
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let g = gcd (abs num) den in
+    { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  make
+    (checked_add (checked_mul a.num db) (checked_mul b.num da))
+    (checked_mul a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* cross-reduce before multiplying to delay overflow *)
+  let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  make
+    (checked_mul (a.num / g1) (b.num / g2))
+    (checked_mul (a.den / g2) (b.den / g1))
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+let compare a b =
+  (* exact comparison by cross multiplication, guarded against overflow by
+     comparing the integer parts first *)
+  let qa = a.num / a.den and qb = b.num / b.den in
+  if qa <> qb then Stdlib.compare qa qb
+  else
+    let ra = a.num mod a.den and rb = b.num mod b.den in
+    (* compare ra/a.den vs rb/b.den; remainders have magnitude < den so the
+       cross products stay well within range for den < 2^31; fall back to
+       checked multiplication otherwise *)
+    Stdlib.compare (checked_mul ra b.den) (checked_mul rb a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let to_float t = float_of_int t.num /. float_of_int t.den
+
+let to_string t =
+  if t.den = 1 then string_of_int t.num
+  else Printf.sprintf "%d/%d" t.num t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

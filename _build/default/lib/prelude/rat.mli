@@ -1,0 +1,49 @@
+(** Exact rational arithmetic on machine integers.
+
+    The paper's bounds are small rationals ([45/41], [3d/(2d+2)], …) and the
+    measured quantities are ratios of request counters, so exact comparison
+    never needs more than 63 bits.  All operations keep values normalised
+    (positive denominator, gcd 1) and raise [Overflow] rather than wrap. *)
+
+type t = private { num : int; den : int }
+(** Normalised rational: [den > 0], [gcd |num| den = 1]. *)
+
+exception Overflow
+(** Raised when an operation would exceed the machine-integer range. *)
+
+val make : int -> int -> t
+(** [make num den] is the normalised rational [num/den].
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+val to_string : t -> string
+(** ["45/41"], or just ["3"] when the denominator is 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = if t.n = 0 then nan else t.mn
+let max t = if t.n = 0 then nan else t.mx
+
+let ci95_halfwidth t =
+  if t.n < 2 then nan else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+(* Chan et al. parallel-merge formula. *)
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean =
+      a.mean +. (delta *. float_of_int b.n /. float_of_int n)
+    in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n
+          /. float_of_int n)
+    in
+    {
+      n;
+      mean;
+      m2;
+      mn = Stdlib.min a.mn b.mn;
+      mx = Stdlib.max a.mx b.mx;
+    }
+  end
+
+let quantile data q =
+  let len = Array.length data in
+  if len = 0 then invalid_arg "Stats.quantile: empty data";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy data in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (len - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)

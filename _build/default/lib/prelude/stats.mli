@@ -1,0 +1,37 @@
+(** Streaming summary statistics.
+
+    Welford's online algorithm for mean/variance plus min/max tracking;
+    used by the experiment harness to aggregate per-run ratios, and by the
+    benchmarks for timing summaries. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Fold one observation into the accumulator. *)
+
+val count : t -> int
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean ([1.96 * stddev / sqrt count]); [nan] with fewer than two
+    observations. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators as if all observations were added to one. *)
+
+val quantile : float array -> float -> float
+(** [quantile data q] is the [q]-quantile ([0 <= q <= 1]) of [data] by
+    linear interpolation on the sorted copy.
+    @raise Invalid_argument on empty input. *)

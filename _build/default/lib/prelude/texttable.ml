@@ -1,0 +1,91 @@
+type align = Left | Right
+
+type line = Row of string array | Rule
+
+type t = {
+  title : string option;
+  header : string array;
+  mutable aligns : align array;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?title ~header () =
+  let header = Array.of_list header in
+  {
+    title;
+    header;
+    aligns = Array.make (Array.length header) Left;
+    lines = [];
+  }
+
+let set_align t aligns =
+  List.iteri
+    (fun i a -> if i < Array.length t.aligns then t.aligns.(i) <- a)
+    aligns
+
+let add_row t cells =
+  let ncols = Array.length t.header in
+  let n = List.length cells in
+  if n > ncols then
+    invalid_arg
+      (Printf.sprintf "Texttable.add_row: %d cells for %d columns" n ncols);
+  let row = Array.make ncols "" in
+  List.iteri (fun i c -> row.(i) <- c) cells;
+  t.lines <- Row row :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let ncols = Array.length t.header in
+  let widths = Array.map String.length t.header in
+  let lines = List.rev t.lines in
+  List.iter
+    (function
+      | Rule -> ()
+      | Row r ->
+        Array.iteri
+          (fun i c -> if String.length c > widths.(i) then
+              widths.(i) <- String.length c)
+          r)
+    lines;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let emit_row aligns r =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad aligns.(i) widths.(i) r.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule () = Buffer.add_string buf (String.make total_width '-' ^ "\n") in
+  (match t.title with
+   | Some title ->
+     Buffer.add_string buf title;
+     Buffer.add_char buf '\n';
+     rule ()
+   | None -> ());
+  emit_row (Array.make ncols Left) t.header;
+  rule ();
+  List.iter
+    (function Rule -> rule () | Row r -> emit_row t.aligns r)
+    lines;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let title t = t.title
+let header t = Array.to_list t.header
+
+let rows t =
+  List.filter_map
+    (function Rule -> None | Row r -> Some (Array.to_list r))
+    (List.rev t.lines)
+
+let cell_float ?(decimals = 4) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_ratio v = cell_float ~decimals:4 v

@@ -1,0 +1,42 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints paper-vs-measured tables on stdout; this
+    module right-pads cells, draws a header rule, and supports per-column
+    alignment.  Output is plain ASCII so logs diff cleanly. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> header:string list -> unit -> t
+(** A table with the given column headers.  Columns default to left
+    alignment; see {!set_align}. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; shorter lists leave remaining columns [Left]. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal rule between rows. *)
+
+val render : t -> string
+(** The whole table as a string, trailing newline included. *)
+
+val title : t -> string option
+val header : t -> string list
+val rows : t -> string list list
+(** Data rows in insertion order (rules omitted); short rows appear
+    padded to the header width, as rendered. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float for a table cell ([decimals] defaults to 4); [nan]
+    renders as ["-"]. *)
+
+val cell_ratio : float -> string
+(** A competitive-ratio cell: 4 decimals. *)

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Adversary Analysis Array Buffer Dataserver Float Harness List Localstrat Offline Prelude Printf Sched Strategies

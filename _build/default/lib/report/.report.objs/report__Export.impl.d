@@ -1,0 +1,1 @@
+lib/report/export.ml: Array Buffer Fun List Prelude Sched String

@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Array Buffer Hashtbl List Option Printf Sched String

@@ -1,0 +1,1 @@
+lib/report/harness.ml: Adversary Offline Prelude Printf Sched

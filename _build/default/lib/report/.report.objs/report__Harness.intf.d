@@ -1,0 +1,1 @@
+lib/report/harness.mli: Adversary Prelude Sched

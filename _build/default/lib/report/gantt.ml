@@ -1,0 +1,81 @@
+(* Request ids are drawn base-62 single characters (cycling for larger
+   ids), which keeps the chart aligned: one column per round. *)
+let glyph id =
+  let alphabet =
+    "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+  in
+  alphabet.[id mod String.length alphabet]
+
+let grid (o : Sched.Outcome.t) ~max_rounds =
+  let inst = o.Sched.Outcome.instance in
+  let rounds = min inst.Sched.Instance.horizon max_rounds in
+  let n = inst.Sched.Instance.n_resources in
+  let cells = Array.make_matrix n rounds '.' in
+  Array.iteri
+    (fun id served ->
+       match served with
+       | Some (res, round) when round < rounds ->
+         cells.(res).(round) <- glyph id
+       | Some _ | None -> ())
+    o.Sched.Outcome.served_at;
+  (cells, rounds, n)
+
+let render ?(max_rounds = 120) o =
+  let cells, rounds, n = grid o ~max_rounds in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: rounds 0..%d (one column per round, '.' = idle)\n"
+       o.Sched.Outcome.strategy_name (rounds - 1));
+  (* decade ruler *)
+  Buffer.add_string buf "      ";
+  for t = 0 to rounds - 1 do
+    Buffer.add_char buf (if t mod 10 = 0 then '|' else ' ')
+  done;
+  Buffer.add_char buf '\n';
+  for res = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "S%-4d " res);
+    for t = 0 to rounds - 1 do
+      Buffer.add_char buf cells.(res).(t)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  if o.Sched.Outcome.instance.Sched.Instance.horizon > rounds then
+    Buffer.add_string buf
+      (Printf.sprintf "(truncated at %d of %d rounds)\n" rounds
+         o.Sched.Outcome.instance.Sched.Instance.horizon);
+  Buffer.contents buf
+
+let render_with_failures ?max_rounds o =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (render ?max_rounds o);
+  let inst = o.Sched.Outcome.instance in
+  let by_round = Hashtbl.create 16 in
+  Array.iteri
+    (fun id served ->
+       if served = None then begin
+         let arrival =
+           inst.Sched.Instance.requests.(id).Sched.Request.arrival
+         in
+         Hashtbl.replace by_round arrival
+           (id :: Option.value ~default:[] (Hashtbl.find_opt by_round arrival))
+       end)
+    o.Sched.Outcome.served_at;
+  let rounds = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) by_round []) in
+  if rounds = [] then Buffer.add_string buf "no failed requests\n"
+  else
+    List.iter
+      (fun round ->
+         let ids = List.sort compare (Hashtbl.find by_round round) in
+         Buffer.add_string buf
+           (Printf.sprintf "failed (arrived round %d): %s\n" round
+              (String.concat " " (List.map string_of_int ids))))
+      rounds;
+  Buffer.contents buf
+
+let render_comparison ?max_rounds a b =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (render ?max_rounds a);
+  Buffer.add_string buf (String.make 40 '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render ?max_rounds b);
+  Buffer.contents buf

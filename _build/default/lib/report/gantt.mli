@@ -1,0 +1,24 @@
+(** ASCII occupancy charts for schedules.
+
+    One row per resource, one column per round; each served request is
+    drawn in its slot.  Makes the adversary constructions visible — the
+    block structures, the clogged pairs, the idle resources the optimum
+    would have used — and doubles as a debugging aid for new
+    strategies. *)
+
+val render : ?max_rounds:int -> Sched.Outcome.t -> string
+(** Draw the outcome's schedule.  Cells show the served request id
+    modulo the alphabet; ['.'] is an idle slot.  Requests that share an
+    arrival round and alternatives (the adversary's groups) are not
+    distinguished beyond their ids.  [max_rounds] truncates wide
+    charts (default 120 columns). *)
+
+val render_with_failures : ?max_rounds:int -> Sched.Outcome.t -> string
+(** Like {!render}, followed by one line per arrival round listing the
+    requests that eventually failed, so losses line up with the chart. *)
+
+val render_comparison :
+  ?max_rounds:int -> Sched.Outcome.t -> Sched.Outcome.t -> string
+(** Two outcomes on the same instance, one above the other, with a
+    divider — e.g. a strategy against the offline optimum replayed as a
+    schedule. *)

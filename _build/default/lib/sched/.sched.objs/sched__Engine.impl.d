@@ -1,0 +1,1 @@
+lib/sched/engine.ml: Array Hashtbl Instance List Outcome Printf Request Strategy

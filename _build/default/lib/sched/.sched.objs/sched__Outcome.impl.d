@@ -1,0 +1,1 @@
+lib/sched/outcome.ml: Array Format Graph Hashtbl Instance List Paper_graph Request

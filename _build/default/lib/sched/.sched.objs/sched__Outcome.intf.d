@@ -1,0 +1,1 @@
+lib/sched/outcome.mli: Format Graph Instance

@@ -1,0 +1,1 @@
+lib/sched/paper_graph.ml: Array Graph Instance Prelude Request

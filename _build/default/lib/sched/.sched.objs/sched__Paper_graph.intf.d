@@ -1,0 +1,1 @@
+lib/sched/paper_graph.mli: Graph Instance

@@ -1,0 +1,1 @@
+lib/sched/request.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/sched/strategy.ml: Request

@@ -1,0 +1,133 @@
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+type adaptive = round:int -> is_served:(int -> bool) -> Request.t list
+
+(* Shared per-run bookkeeping: validates every service against the model
+   rules and records first services.  [lookup] resolves ids to requests
+   (the id space may still be growing during an adaptive run). *)
+type ledger = {
+  n : int;
+  lookup : int -> Request.t option;
+  served_tbl : (int, int * int) Hashtbl.t; (* id -> (resource, round) *)
+  mutable wasted : int;
+  resource_busy : int array; (* resource -> last round it served *)
+}
+
+let make_ledger ~n ~lookup =
+  { n; lookup; served_tbl = Hashtbl.create 256; wasted = 0;
+    resource_busy = Array.make n (-1) }
+
+let apply_services ledger ~round services =
+  List.iter
+    (fun { Strategy.request; resource } ->
+       let r =
+         match ledger.lookup request with
+         | Some r -> r
+         | None -> fail "round %d: unknown request %d" round request
+       in
+       if not (Request.is_live r ~round) then
+         fail "round %d: request %d outside its window [%d,%d]" round
+           request r.Request.arrival (Request.last_round r);
+       if resource < 0 || resource >= ledger.n then
+         fail "round %d: resource %d out of range" round resource;
+       if not (Request.has_alternative r resource) then
+         fail "round %d: resource %d not an alternative of request %d"
+           round resource request;
+       if ledger.resource_busy.(resource) = round then
+         fail "round %d: resource %d used twice" round resource;
+       ledger.resource_busy.(resource) <- round;
+       if Hashtbl.mem ledger.served_tbl request then
+         ledger.wasted <- ledger.wasted + 1
+       else Hashtbl.replace ledger.served_tbl request (resource, round))
+    services
+
+let finish ledger ~inst ~strategy_name =
+  let n_req = Instance.n_requests inst in
+  let served_at = Array.make n_req None in
+  let per_round_served = Array.make (max inst.Instance.horizon 1) 0 in
+  let served = ref 0 in
+  Hashtbl.iter
+    (fun id (resource, round) ->
+       served_at.(id) <- Some (resource, round);
+       per_round_served.(round) <- per_round_served.(round) + 1;
+       incr served)
+    ledger.served_tbl;
+  {
+    Outcome.instance = inst;
+    strategy_name;
+    served_at;
+    served = !served;
+    wasted = ledger.wasted;
+    per_round_served;
+  }
+
+let run inst factory =
+  let strategy = factory ~n:inst.Instance.n_resources ~d:inst.Instance.d in
+  let ledger =
+    make_ledger ~n:inst.Instance.n_resources ~lookup:(fun id ->
+        if id >= 0 && id < Instance.n_requests inst then
+          Some inst.Instance.requests.(id)
+        else None)
+  in
+  for round = 0 to inst.Instance.horizon - 1 do
+    let arrivals = Instance.arrivals_at inst round in
+    let services = strategy.Strategy.step ~round ~arrivals in
+    apply_services ledger ~round services
+  done;
+  finish ledger ~inst ~strategy_name:strategy.Strategy.name
+
+let run_all inst factories = List.map (run inst) factories
+
+let run_adaptive ~n ~d ~last_arrival_round ~adversary factory =
+  if last_arrival_round < 0 then
+    invalid_arg "Engine.run_adaptive: negative last_arrival_round";
+  let strategy = factory ~n ~d in
+  let by_id : (int, Request.t) Hashtbl.t = Hashtbl.create 256 in
+  let emitted = ref [] (* reversed *) in
+  let next_id = ref 0 in
+  let ledger =
+    make_ledger ~n ~lookup:(fun id -> Hashtbl.find_opt by_id id)
+  in
+  let horizon = last_arrival_round + d in
+  for round = 0 to horizon - 1 do
+    let arrivals =
+      if round > last_arrival_round then [||]
+      else begin
+        let protos =
+          adversary ~round
+            ~is_served:(fun id -> Hashtbl.mem ledger.served_tbl id)
+        in
+        let assigned =
+          List.map
+            (fun (r : Request.t) ->
+               if r.Request.arrival <> round then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Engine.run_adaptive: adversary emitted arrival %d \
+                       at round %d"
+                      r.Request.arrival round);
+               let r = Request.with_id r !next_id in
+               incr next_id;
+               Hashtbl.replace by_id r.Request.id r;
+               emitted := r :: !emitted;
+               r)
+            protos
+        in
+        Array.of_list assigned
+      end
+    in
+    let services = strategy.Strategy.step ~round ~arrivals in
+    apply_services ledger ~round services
+  done;
+  let protos =
+    List.rev_map
+      (fun (r : Request.t) ->
+         Request.make ~arrival:r.Request.arrival
+           ~alternatives:(Array.to_list r.Request.alternatives)
+           ~deadline:r.Request.deadline)
+      !emitted
+  in
+  let inst = Instance.build ~n_resources:n ~d protos in
+  finish ledger ~inst ~strategy_name:strategy.Strategy.name

@@ -1,0 +1,39 @@
+(** The synchronous round engine.
+
+    Drives a strategy over an instance exactly as Sec. 1.2 of the paper
+    prescribes: each round, expired requests die, new requests are
+    revealed, the strategy decides, and one request per resource is
+    served.  The engine owns all validity checking, so a buggy strategy
+    cannot silently overcount. *)
+
+exception Protocol_error of string
+(** A strategy returned an illegal service: unknown or expired request,
+    resource not among its alternatives, or two services on one resource
+    in the same round. *)
+
+val run : Instance.t -> Strategy.factory -> Outcome.t
+(** Run the strategy over the whole instance.  Services of an
+    already-served request are legal but counted as [wasted] (the paper's
+    EDF duplicates); everything else illegal raises {!Protocol_error}. *)
+
+val run_all : Instance.t -> Strategy.factory list -> Outcome.t list
+(** [run] once per factory on the same instance. *)
+
+type adaptive = round:int -> is_served:(int -> bool) -> Request.t list
+(** An adaptive adversary: called at the start of every round with the
+    current round number and a predicate telling whether a given request
+    id has been served so far, it returns the requests arriving this
+    round (protos; ids are assigned in emission order, so the adversary
+    can predict them by counting).  Returned arrivals must have
+    [arrival = round].  Used by the paper's Theorem 2.6, whose adversary
+    blocks whichever colour group the algorithm left most unserved. *)
+
+val run_adaptive :
+  n:int -> d:int -> last_arrival_round:int -> adversary:adaptive ->
+  Strategy.factory -> Outcome.t
+(** Run a strategy against an adaptive adversary.  The adversary is
+    consulted for rounds [0 .. last_arrival_round]; the engine then keeps
+    stepping the strategy until every window has closed.  The realised
+    instance is available as [(result).instance], so the offline optimum
+    of exactly the adaptively-generated workload can be computed
+    afterwards. *)

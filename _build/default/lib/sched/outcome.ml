@@ -1,0 +1,76 @@
+type t = {
+  instance : Instance.t;
+  strategy_name : string;
+  served_at : (int * int) option array;
+  served : int;
+  wasted : int;
+  per_round_served : int array;
+}
+
+let failed t = Instance.n_requests t.instance - t.served
+
+let served_ids t =
+  let acc = ref [] in
+  for i = Array.length t.served_at - 1 downto 0 do
+    if t.served_at.(i) <> None then acc := i :: !acc
+  done;
+  !acc
+
+let latencies t =
+  let acc = ref [] in
+  for i = Array.length t.served_at - 1 downto 0 do
+    match t.served_at.(i) with
+    | Some (_, round) ->
+      acc := (round - t.instance.Instance.requests.(i).Request.arrival) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let mean_latency t =
+  match latencies t with
+  | [] -> nan
+  | ls ->
+    float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls)
+
+let to_matching t =
+  let g = Paper_graph.of_instance t.instance in
+  let m = Graph.Matching.empty g in
+  Array.iteri
+    (fun id sv ->
+       match sv with
+       | None -> ()
+       | Some (resource, round) ->
+         match
+           Paper_graph.edge_for g t.instance ~request:id ~resource ~round
+         with
+         | None -> invalid_arg "Outcome.to_matching: service outside graph G"
+         | Some e -> Graph.Matching.use_edge g m e)
+    t.served_at;
+  (g, m)
+
+let is_consistent t =
+  let inst = t.instance in
+  let slot_used = Hashtbl.create 64 in
+  let ok = ref true in
+  let count = ref 0 in
+  Array.iteri
+    (fun id sv ->
+       match sv with
+       | None -> ()
+       | Some (resource, round) ->
+         incr count;
+         let r = inst.Instance.requests.(id) in
+         if not (Request.has_alternative r resource) then ok := false;
+         if not (Request.is_live r ~round) then ok := false;
+         let key = (resource, round) in
+         if Hashtbl.mem slot_used key then ok := false;
+         Hashtbl.replace slot_used key ())
+    t.served_at;
+  !ok && !count = t.served
+  && Array.fold_left ( + ) 0 t.per_round_served = t.served
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: served %d/%d (failed %d, wasted %d)"
+    t.strategy_name t.served
+    (Instance.n_requests t.instance)
+    (failed t) t.wasted

@@ -1,0 +1,41 @@
+(** The result of running a strategy over an instance. *)
+
+type t = {
+  instance : Instance.t;
+  strategy_name : string;
+  served_at : (int * int) option array;
+      (** request id -> [(resource, round)] of its (first) service *)
+  served : int;           (** number of distinct requests served *)
+  wasted : int;
+      (** services of already-served requests (EDF-style duplicate work) *)
+  per_round_served : int array;  (** services per round, length horizon *)
+}
+
+val failed : t -> int
+(** Requests that expired unserved. *)
+
+val served_ids : t -> int list
+(** Ids of served requests, ascending. *)
+
+val latencies : t -> int list
+(** Per served request, [service round - arrival] (0 = served on
+    arrival), in id order. *)
+
+val mean_latency : t -> float
+(** Mean of {!latencies}; [nan] when nothing was served. *)
+
+val to_matching :
+  t -> Graph.Bipartite.t * Graph.Matching.t
+(** The induced matching in the paper's graph [G = (R ∪ S, E)]: left
+    vertices are request ids, right vertices are dense slot indices (see
+    {!Instance.slot_index}), edges are every legal (request, slot) pair,
+    and the matching contains the pairs actually served.  Feeding the same
+    graph to {!Graph.Hopcroft_karp.solve} yields the offline optimum, and
+    {!Graph.Altpath} compares the two. *)
+
+val is_consistent : t -> bool
+(** Every recorded service respects alternatives, windows and slot
+    exclusivity, and the counters agree with [served_at].  The engine
+    guarantees this; tests re-check. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type serve = { request : int; resource : int }
+
+type t = {
+  name : string;
+  step : round:int -> arrivals:Request.t array -> serve list;
+}
+
+type bias = request:Request.t -> resource:int -> round:int -> int
+
+type factory = n:int -> d:int -> t
+
+let no_bias : bias = fun ~request:_ ~resource:_ ~round:_ -> 0

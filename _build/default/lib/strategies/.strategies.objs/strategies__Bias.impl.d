@@ -1,0 +1,1 @@
+lib/strategies/bias.ml: Array Hashtbl Int64 Prelude Sched

@@ -1,0 +1,1 @@
+lib/strategies/bias.mli: Prelude Sched

@@ -1,0 +1,1 @@
+lib/strategies/edf.ml: Array Hashtbl List Sched

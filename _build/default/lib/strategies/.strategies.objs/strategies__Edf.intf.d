@@ -1,0 +1,1 @@
+lib/strategies/edf.mli: Sched

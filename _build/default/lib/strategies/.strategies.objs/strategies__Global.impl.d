@@ -1,0 +1,1 @@
+lib/strategies/global.ml: Array Graph Hashtbl List Sched

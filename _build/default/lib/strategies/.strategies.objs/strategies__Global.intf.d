@@ -1,0 +1,1 @@
+lib/strategies/global.mli: Sched

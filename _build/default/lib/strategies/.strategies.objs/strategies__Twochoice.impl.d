@@ -1,0 +1,1 @@
+lib/strategies/twochoice.ml: Array Hashtbl List Option Prelude Sched

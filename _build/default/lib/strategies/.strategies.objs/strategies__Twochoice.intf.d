@@ -1,0 +1,1 @@
+lib/strategies/twochoice.mli: Prelude Sched

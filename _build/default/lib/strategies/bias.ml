@@ -1,0 +1,42 @@
+module Strategy = Sched.Strategy
+module Request = Sched.Request
+
+let neutral = Strategy.no_bias
+
+let random ~rng ~magnitude : Strategy.bias =
+  if magnitude < 1 then invalid_arg "Bias.random: magnitude must be >= 1";
+  let cache : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  fun ~request ~resource ~round ->
+    let key = (request.Request.id, resource, round) in
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+      let v = Prelude.Rng.int rng magnitude in
+      Hashtbl.replace cache key v;
+      v
+
+let prefer_first_alternative : Strategy.bias =
+ fun ~request ~resource ~round:_ ->
+  if Array.length request.Request.alternatives > 0
+     && request.Request.alternatives.(0) = resource
+  then 1
+  else 0
+
+(* splitmix-style finaliser over the packed key *)
+let spread : Strategy.bias =
+ fun ~request ~resource ~round ->
+  let z =
+    Int64.of_int
+      ((request.Request.id * 1_000_003) + (resource * 10_007) + round)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  Int64.to_int (Int64.logand z 7L)
+
+let scale k (bias : Strategy.bias) : Strategy.bias =
+ fun ~request ~resource ~round -> k * bias ~request ~resource ~round
+
+let add (a : Strategy.bias) (b : Strategy.bias) : Strategy.bias =
+ fun ~request ~resource ~round ->
+  a ~request ~resource ~round + b ~request ~resource ~round

@@ -1,0 +1,36 @@
+(** Tie-break biases for the tiered strategies.
+
+    The strategies' defining rules occupy the high weight tiers; a bias
+    only selects among the matchings those rules already allow.  The
+    adversary scenarios construct their own theorem-specific biases; the
+    combinators here cover the rest: neutral runs, randomised
+    tie-breaking (a natural extension the paper's related-work section
+    points at via RANKING), and simple deterministic preferences for
+    ablation studies. *)
+
+val neutral : Sched.Strategy.bias
+(** Always 0 (same as {!Sched.Strategy.no_bias}). *)
+
+val random : rng:Prelude.Rng.t -> magnitude:int -> Sched.Strategy.bias
+(** A random integer in [\[0, magnitude)] per (request, resource, round)
+    triple, memoised so repeated queries within a run agree.  Using a
+    fresh seed per run turns any deterministic strategy into a
+    randomised one, defeating the deterministic adversary
+    constructions. *)
+
+val prefer_first_alternative : Sched.Strategy.bias
+(** +1 when the resource is the request's first alternative — makes the
+    global strategies comparable with the local protocols' first-try
+    behaviour. *)
+
+val spread : Sched.Strategy.bias
+(** A deterministic hash of (request id, resource, round) in [\[0, 8)]:
+    de-correlates ties without any shared randomness — the poor man's
+    randomised tie-break, reproducible across runs by construction. *)
+
+val scale : int -> Sched.Strategy.bias -> Sched.Strategy.bias
+(** Multiply a bias by a constant. *)
+
+val add : Sched.Strategy.bias -> Sched.Strategy.bias -> Sched.Strategy.bias
+(** Pointwise sum — combine a primary preference with a secondary one by
+    scaling the primary above the secondary's range. *)

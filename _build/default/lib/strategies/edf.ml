@@ -1,0 +1,79 @@
+module Request = Sched.Request
+module Strategy = Sched.Strategy
+
+type state = {
+  n : int;
+  bias : Strategy.bias;
+  coordinate : bool;
+  queues : (int, Request.t) Hashtbl.t array; (* per resource: id -> request *)
+  served : (int, unit) Hashtbl.t;
+}
+
+(* The request resource [res] serves at [round]: live, not yet served
+   (when coordinating), earliest deadline; ties by higher bias, then
+   lower id. *)
+let pick st ~round res =
+  let better (a : Request.t) (b : Request.t) =
+    let da = Request.last_round a and db = Request.last_round b in
+    if da <> db then da < db
+    else begin
+      let ba = st.bias ~request:a ~resource:res ~round
+      and bb = st.bias ~request:b ~resource:res ~round in
+      if ba <> bb then ba > bb else a.Request.id < b.Request.id
+    end
+  in
+  Hashtbl.fold
+    (fun _ r best ->
+       if not (Request.is_live r ~round) then best
+       else if st.coordinate && Hashtbl.mem st.served r.Request.id then best
+       else
+         match best with
+         | None -> Some r
+         | Some b -> if better r b then Some r else best)
+    st.queues.(res) None
+
+let step st ~round ~arrivals =
+  (* admit arrivals into each listed resource's queue *)
+  Array.iter
+    (fun (r : Request.t) ->
+       Array.iter
+         (fun res -> Hashtbl.replace st.queues.(res) r.Request.id r)
+         r.Request.alternatives)
+    arrivals;
+  (* drop expired entries to keep the queues small *)
+  Array.iter
+    (fun q ->
+       let dead =
+         Hashtbl.fold
+           (fun id r acc ->
+              if Request.last_round r < round then id :: acc else acc)
+           q []
+       in
+       List.iter (Hashtbl.remove q) dead)
+    st.queues;
+  let serves = ref [] in
+  for res = 0 to st.n - 1 do
+    match pick st ~round res with
+    | None -> ()
+    | Some r ->
+      Hashtbl.remove st.queues.(res) r.Request.id;
+      Hashtbl.replace st.served r.Request.id ();
+      serves := { Strategy.request = r.Request.id; resource = res } :: !serves
+  done;
+  List.rev !serves
+
+let make ~coordinate ~name ?(bias = Strategy.no_bias) () : Strategy.factory =
+ fun ~n ~d:_ ->
+  let st =
+    {
+      n;
+      bias;
+      coordinate;
+      queues = Array.init n (fun _ -> Hashtbl.create 16);
+      served = Hashtbl.create 64;
+    }
+  in
+  { Strategy.name = name; step = (fun ~round ~arrivals -> step st ~round ~arrivals) }
+
+let independent ?bias () = make ~coordinate:false ~name:"EDF" ?bias ()
+let coordinated ?bias () = make ~coordinate:true ~name:"EDF_coord" ?bias ()

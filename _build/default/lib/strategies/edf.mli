@@ -1,0 +1,24 @@
+(** Earliest-deadline-first baselines (Observations 3.1 and 3.2).
+
+    The paper's EDF treats the [c] copies of each request (one per
+    alternative resource) as independent: every resource runs a local EDF
+    queue over the requests that list it, with no coordination, so a
+    request can be served more than once (the duplicate services are the
+    waste the 2-competitiveness argument charges).  The engine counts
+    duplicates as [wasted].
+
+    With a single alternative this is 1-competitive (Obs 3.1); with [c]
+    alternatives it is exactly [c]-competitive (Obs 3.2 and its noted
+    extension). *)
+
+val independent : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
+(** The paper's uncoordinated EDF.  Each round every resource serves, of
+    the live requests listing it, one with the earliest deadline; among
+    deadline ties, higher [bias] wins, then lower request id (the
+    "arbitrary" tie-break the lower-bound examples exploit). *)
+
+val coordinated : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
+(** A mild folklore improvement used by the average-case study: identical
+    to {!independent} except resources skip requests that were already
+    served — including earlier in the same round, i.e. a centralised
+    "served" bit is the only shared state. *)

@@ -1,0 +1,95 @@
+module Request = Sched.Request
+module Strategy = Sched.Strategy
+
+type state = {
+  n : int;
+  slots : (int * int, int) Hashtbl.t; (* (resource, round) -> request id *)
+}
+
+(* free slots of [res] within [r]'s window at [round] *)
+let free_slots st ~round res (r : Request.t) =
+  let lo = max round r.Request.arrival and hi = Request.last_round r in
+  let count = ref 0 in
+  for t = lo to hi do
+    if not (Hashtbl.mem st.slots (res, t)) then incr count
+  done;
+  !count
+
+let earliest_free st ~round res (r : Request.t) =
+  let lo = max round r.Request.arrival and hi = Request.last_round r in
+  let rec find t =
+    if t > hi then None
+    else if Hashtbl.mem st.slots (res, t) then find (t + 1)
+    else Some t
+  in
+  find lo
+
+let assign st (r : Request.t) res t = Hashtbl.replace st.slots (res, t) r.Request.id
+
+let collect_serves st ~round =
+  let serves = ref [] in
+  for res = 0 to st.n - 1 do
+    match Hashtbl.find_opt st.slots (res, round) with
+    | None -> ()
+    | Some id ->
+      Hashtbl.remove st.slots (res, round);
+      serves := { Strategy.request = id; resource = res } :: !serves
+  done;
+  List.rev !serves
+
+let make ~name ~choose : Strategy.factory =
+ fun ~n ~d:_ ->
+  let st = { n; slots = Hashtbl.create 128 } in
+  {
+    Strategy.name;
+    step =
+      (fun ~round ~arrivals ->
+         Array.iter
+           (fun (r : Request.t) ->
+              match choose st ~round r with
+              | Some (res, t) -> assign st r res t
+              | None -> ())
+           arrivals;
+         collect_serves st ~round);
+  }
+
+let least_loaded ?(bias = Strategy.no_bias) () =
+  let choose st ~round (r : Request.t) =
+    let best = ref None in
+    Array.iter
+      (fun res ->
+         match earliest_free st ~round res r with
+         | None -> ()
+         | Some t ->
+           let key =
+             (free_slots st ~round res r, bias ~request:r ~resource:res ~round,
+              -res)
+           in
+           (match !best with
+            | Some (key', _, _) when key' >= key -> ()
+            | Some _ | None -> best := Some (key, res, t)))
+      r.Request.alternatives;
+    Option.map (fun (_, res, t) -> (res, t)) !best
+  in
+  make ~name:"greedy_2choice" ~choose
+
+let random_choice ~rng () =
+  let choose st ~round (r : Request.t) =
+    let res = Prelude.Rng.pick rng r.Request.alternatives in
+    Option.map (fun t -> (res, t)) (earliest_free st ~round res r)
+  in
+  make ~name:"greedy_random" ~choose
+
+let first_fit () =
+  let choose st ~round (r : Request.t) =
+    let rec try_alts i =
+      if i >= Array.length r.Request.alternatives then None
+      else
+        let res = r.Request.alternatives.(i) in
+        match earliest_free st ~round res r with
+        | Some t -> Some (res, t)
+        | None -> try_alts (i + 1)
+    in
+    try_alts 0
+  in
+  make ~name:"greedy_firstfit" ~choose

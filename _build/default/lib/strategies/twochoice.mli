@@ -1,0 +1,32 @@
+(** Greedy multiple-choice baselines from the balls-into-bins literature.
+
+    The paper's introduction motivates two-choice scheduling via
+    [KLM92]/[ABKU94]: sending each ball to the lesser-loaded of two
+    random bins exponentially improves the maximum load.  These
+    strategies transplant that heuristic to the scheduling model: each
+    request is assigned on arrival, greedily and irrevocably, with no
+    matching computation — O(alternatives · d) per request, the cheapest
+    reasonable baselines against which the paper's matching-based
+    strategies can be judged.
+
+    All three freeze assignments like [A_fix]; they differ only in how
+    the resource is picked. *)
+
+val least_loaded : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
+(** [ABKU94]'s rule: each arriving request compares its alternatives by
+    the number of free slots left in its window and takes the emptiest
+    (earliest free slot there; [bias], then lower index, breaks ties).
+    Named ["greedy_2choice"]. *)
+
+val random_choice : rng:Prelude.Rng.t -> unit -> Sched.Strategy.factory
+(** The one-choice yardstick: pick a uniformly random alternative
+    (regardless of load), then the earliest free slot on it; if that
+    resource is full the request is lost — deliberately no retry, this
+    is the "no load balancing" end of the spectrum.  Named
+    ["greedy_random"]. *)
+
+val first_fit : unit -> Sched.Strategy.factory
+(** Always the first alternative, earliest free slot, retrying the
+    remaining alternatives in order when full — what [A_local_fix]'s
+    first communication round does, without the network.  Named
+    ["greedy_firstfit"]. *)

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Analysis Array Hashtbl List Localstrat Offline Prelude Printf Sched Strategies

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Adversary Alcotest Analysis Array List Offline Prelude Printf QCheck QCheck_alcotest Sched Strategies

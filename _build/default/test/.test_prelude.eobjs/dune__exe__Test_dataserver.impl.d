@@ -1,0 +1,1 @@
+test/test_dataserver.ml: Alcotest Array Dataserver List Prelude QCheck QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_distnet.ml: Alcotest Array Distnet Gen List Prelude QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph Hashtbl List Prelude Printf QCheck QCheck_alcotest String

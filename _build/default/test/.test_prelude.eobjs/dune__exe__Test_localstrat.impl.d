@@ -1,0 +1,1 @@
+test/test_localstrat.ml: Adversary Alcotest Analysis Array List Localstrat Offline Prelude Printf QCheck QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_offline.ml: Adversary Alcotest Array Graph List Offline Prelude Printf QCheck QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float Gen List Prelude QCheck QCheck_alcotest String

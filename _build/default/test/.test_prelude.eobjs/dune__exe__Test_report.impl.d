@@ -1,0 +1,1 @@
+test/test_report.ml: Adversary Alcotest List Prelude Printf Report Strategies String

@@ -1,0 +1,1 @@
+test/test_report2.ml: Adversary Alcotest Filename Fun List Prelude QCheck QCheck_alcotest Report Sched Strategies String Sys

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float Graph Hashtbl List Localstrat Offline Prelude Printf QCheck QCheck_alcotest Sched Strategies

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Analysis Array List Offline Prelude Printf QCheck QCheck_alcotest Sched Strategies

@@ -1,0 +1,351 @@
+(* Tests for the adversarial constructions: block structure, exact
+   optima, and for every lower-bound theorem the exact agreement of the
+   simulated strategy with the proof's counting. *)
+
+module Instance = Sched.Instance
+module Request = Sched.Request
+module Engine = Sched.Engine
+module Global = Strategies.Global
+module Rat = Prelude.Rat
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* blocks *)
+
+let test_block_pair () =
+  let reqs = Adversary.Block.pair ~arrival:2 ~r0:1 ~r1:3 ~d:4 in
+  check Alcotest.int "2d requests" 8 (List.length reqs);
+  List.iter
+    (fun (r : Request.t) ->
+       check Alcotest.int "arrival" 2 r.Request.arrival;
+       check Alcotest.int "deadline" 4 r.Request.deadline;
+       check Alcotest.bool "alts" true
+         (Request.has_alternative r 1 && Request.has_alternative r 3))
+    reqs
+
+let test_block_ring () =
+  let reqs =
+    Adversary.Block.ring ~arrival:0 ~resources:[| 0; 1; 2 |] ~d:2
+  in
+  check Alcotest.int "a*d requests" 6 (List.length reqs);
+  (* ring pairs: (0,1) (1,2) (2,0), two each *)
+  let count pair =
+    List.length
+      (List.filter
+         (fun (r : Request.t) -> Array.to_list r.Request.alternatives = pair)
+         reqs)
+  in
+  check Alcotest.int "(0,1)" 2 (count [ 0; 1 ]);
+  check Alcotest.int "(1,2)" 2 (count [ 1; 2 ]);
+  check Alcotest.int "(2,0)" 2 (count [ 2; 0 ])
+
+let test_block_one () =
+  let reqs = Adversary.Block.one ~arrival:1 ~anchor:5 ~target:2 ~d:3 in
+  check Alcotest.int "d requests" 3 (List.length reqs);
+  List.iter
+    (fun (r : Request.t) ->
+       check Alcotest.int "first alternative is the target" 2
+         r.Request.alternatives.(0))
+    reqs
+
+let test_ring_needs_two () =
+  match Adversary.Block.ring ~arrival:0 ~resources:[| 0 |] ~d:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* scenario exactness: computed optimum = analytic hint, strategy
+   performance = analytic hint *)
+
+let run_scenario_exact name (sc : Adversary.Scenario.t) factory =
+  let opt = Offline.Opt.value sc.instance in
+  (match sc.opt_hint with
+   | Some hint ->
+     check Alcotest.int (name ^ ": analytic optimum") hint opt
+   | None -> ());
+  let o = Engine.run sc.instance factory in
+  (match sc.alg_hint with
+   | Some hint ->
+     check Alcotest.int (name ^ ": analytic strategy count") hint
+       o.Sched.Outcome.served
+   | None -> ());
+  (opt, o.Sched.Outcome.served)
+
+let test_thm21_exact () =
+  List.iter
+    (fun (d, phases) ->
+       let sc = Adversary.Thm21.make ~d ~phases in
+       ignore
+         (run_scenario_exact
+            (Printf.sprintf "thm21 d=%d" d)
+            sc
+            (Global.fix ~bias:sc.bias ())))
+    [ (2, 4); (3, 3); (4, 5); (6, 2) ]
+
+let test_thm22_exact_opt () =
+  List.iter
+    (fun (ell, d) ->
+       let sc = Adversary.Thm22.make ~ell ~d ~phases:2 in
+       let opt = Offline.Opt.value sc.instance in
+       check Alcotest.int "thm22 optimum" (2 * ell * d) opt;
+       (* strategy performance within the drain model's boundary slack *)
+       let o = Engine.run sc.instance (Global.current ~bias:sc.bias ()) in
+       let reference =
+         2 * Adversary.Thm22.alg_lower_bound_per_phase ~ell ~d
+       in
+       check Alcotest.bool
+         (Printf.sprintf "thm22 ell=%d within slack (got %d, ref %d)" ell
+            o.Sched.Outcome.served reference)
+         true
+         (abs (o.Sched.Outcome.served - reference) <= 2 * ell))
+    [ (3, 6); (4, 12) ]
+
+let test_thm23_exact () =
+  List.iter
+    (fun (d, phases) ->
+       let sc = Adversary.Thm23.make ~d ~phases in
+       ignore
+         (run_scenario_exact
+            (Printf.sprintf "thm23 d=%d" d)
+            sc
+            (Global.fix_balance ~bias:sc.bias ())))
+    [ (2, 4); (4, 4); (6, 3) ]
+
+let test_thm24_exact () =
+  List.iter
+    (fun (d, phases) ->
+       let sc = Adversary.Thm24.make ~d ~phases in
+       ignore
+         (run_scenario_exact
+            (Printf.sprintf "thm24 d=%d" d)
+            sc
+            (Global.eager ~bias:sc.bias ())))
+    [ (2, 4); (4, 4); (6, 3) ]
+
+let test_thm25_exact () =
+  List.iter
+    (fun (d, groups, intervals) ->
+       let sc = Adversary.Thm25.make ~d ~groups ~intervals in
+       ignore
+         (run_scenario_exact
+            (Printf.sprintf "thm25 d=%d g=%d" d groups)
+            sc
+            (Global.balance ~bias:sc.bias ())))
+    [ (2, 2, 3); (5, 2, 4); (5, 4, 3); (8, 2, 3) ]
+
+let test_thm37_exact () =
+  List.iter
+    (fun (d, intervals) ->
+       let sc, priority = Adversary.Thm37.make ~d ~intervals in
+       let factory = Localstrat.Local.fix ~priority () in
+       ignore (run_scenario_exact (Printf.sprintf "thm37 d=%d" d) sc factory))
+    [ (2, 3); (4, 4); (6, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* theorem parameter validation *)
+
+let test_parameter_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "thm21 d=1" (fun () -> Adversary.Thm21.make ~d:1 ~phases:1);
+  expect_invalid "thm22 bad divisibility" (fun () ->
+      Adversary.Thm22.make ~ell:4 ~d:10 ~phases:1);
+  expect_invalid "thm23 odd d" (fun () -> Adversary.Thm23.make ~d:3 ~phases:1);
+  expect_invalid "thm24 odd d" (fun () -> Adversary.Thm24.make ~d:5 ~phases:1);
+  expect_invalid "thm25 d not 3x-1" (fun () ->
+      Adversary.Thm25.make ~d:4 ~groups:1 ~intervals:1);
+  expect_invalid "thm26 d not multiple of 3" (fun () ->
+      Adversary.Thm26.create ~d:4 ~phases:1)
+
+(* ------------------------------------------------------------------ *)
+(* Thm 2.6: adaptive adversary *)
+
+let test_thm26_opt_and_bound () =
+  (* the bound is asymptotic (competitive ratio allows an additive
+     constant); the doubling difference between phases and 2*phases
+     cancels it exactly *)
+  let d = 6 and phases = 3 in
+  let run mk k =
+    let adv = Adversary.Thm26.create ~d ~phases:k in
+    let o =
+      Engine.run_adaptive ~n:Adversary.Thm26.n_resources ~d
+        ~last_arrival_round:(Adversary.Thm26.last_arrival_round ~d ~phases:k)
+        ~adversary:(Adversary.Thm26.adversary adv)
+        (mk ?bias:None ())
+    in
+    let opt = Offline.Opt.value o.Sched.Outcome.instance in
+    check Alcotest.int "optimum serves everything"
+      (Adversary.Thm26.opt_expected ~d ~phases:k)
+      opt;
+    (opt, o.Sched.Outcome.served)
+  in
+  List.iter
+    (fun (name, mk) ->
+       let opt1, alg1 = run mk phases in
+       let opt2, alg2 = run mk (2 * phases) in
+       let bound = Analysis.Bounds.universal_lb_finite ~d in
+       check Alcotest.bool
+         (Printf.sprintf "%s: per-phase ratio %d/%d above the finite bound"
+            name (opt2 - opt1) (alg2 - alg1))
+         true
+         Rat.(make (opt2 - opt1) (alg2 - alg1) >= bound))
+    Global.all
+
+let test_thm26_adapts () =
+  (* the adversary must pick different colours for strategies that
+     leave different colours unserved; at minimum, two runs against the
+     same strategy are identical (determinism) *)
+  let d = 3 and phases = 2 in
+  let run () =
+    let adv = Adversary.Thm26.create ~d ~phases in
+    let o =
+      Engine.run_adaptive ~n:Adversary.Thm26.n_resources ~d
+        ~last_arrival_round:(Adversary.Thm26.last_arrival_round ~d ~phases)
+        ~adversary:(Adversary.Thm26.adversary adv)
+        (Global.eager ())
+    in
+    (o.Sched.Outcome.served, Instance.n_requests o.Sched.Outcome.instance)
+  in
+  check Alcotest.(pair int int) "deterministic" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* periodicity: every fixed-scenario adversary reaches a steady state *)
+
+let test_scenarios_reach_steady_state () =
+  let cases =
+    [
+      ( "thm21",
+        Adversary.Thm21.make ~d:4 ~phases:6,
+        (fun (sc : Adversary.Scenario.t) ->
+           Strategies.Global.fix ~bias:sc.bias ()),
+        4 );
+      ( "thm24",
+        Adversary.Thm24.make ~d:4 ~phases:6,
+        (fun (sc : Adversary.Scenario.t) ->
+           Strategies.Global.eager ~bias:sc.bias ()),
+        4 );
+      ( "thm37",
+        fst (Adversary.Thm37.make ~d:4 ~intervals:6),
+        (fun _ -> Strategies.Global.fix ()),
+        4 );
+    ]
+  in
+  List.iter
+    (fun (name, (sc : Adversary.Scenario.t), mk, period) ->
+       let o = Engine.run sc.instance (mk sc) in
+       match Analysis.Ledger.steady_state o ~period with
+       | Some _ -> ()
+       | None -> Alcotest.failf "%s: no steady state at period %d" name period)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* random workloads *)
+
+let test_random_workload_shapes () =
+  let rng = Prelude.Rng.create ~seed:5 in
+  let inst =
+    Adversary.Random_workload.make ~rng ~n:6 ~d:3 ~rounds:50 ~load:1.0 ()
+  in
+  check Alcotest.bool "nonempty" true (Instance.n_requests inst > 100);
+  Array.iter
+    (fun (r : Request.t) ->
+       check Alcotest.int "two alternatives" 2
+         (Array.length r.Request.alternatives);
+       check Alcotest.int "deadline d" 3 r.Request.deadline)
+    inst.Instance.requests
+
+let test_random_workload_determinism () =
+  let mk () =
+    let rng = Prelude.Rng.create ~seed:9 in
+    Adversary.Random_workload.make ~rng ~n:4 ~d:2 ~rounds:30 ~load:0.8 ()
+  in
+  let a = mk () and b = mk () in
+  check Alcotest.int "same size" (Instance.n_requests a)
+    (Instance.n_requests b)
+
+let test_random_workload_zipf_skew () =
+  let rng = Prelude.Rng.create ~seed:3 in
+  let inst =
+    Adversary.Random_workload.make ~rng ~n:8 ~d:3 ~rounds:200 ~load:1.0
+      ~profile:(Adversary.Random_workload.Zipf 1.5) ()
+  in
+  (* resource 0 must be named far more often than resource 7 *)
+  let counts = Array.make 8 0 in
+  Array.iter
+    (fun (r : Request.t) ->
+       Array.iter
+         (fun res -> counts.(res) <- counts.(res) + 1)
+         r.Request.alternatives)
+    inst.Instance.requests;
+  check Alcotest.bool "skewed" true (counts.(0) > 3 * counts.(7))
+
+let test_random_workload_mixed_deadlines () =
+  let rng = Prelude.Rng.create ~seed:4 in
+  let inst =
+    Adversary.Random_workload.make_mixed_deadlines ~rng ~n:4 ~d:4 ~rounds:80
+      ~load:1.0 ()
+  in
+  let deadlines = Hashtbl.create 4 in
+  Array.iter
+    (fun (r : Request.t) -> Hashtbl.replace deadlines r.Request.deadline ())
+    inst.Instance.requests;
+  check Alcotest.bool "several distinct deadlines" true
+    (Hashtbl.length deadlines >= 3)
+
+let test_random_workload_validation () =
+  let rng = Prelude.Rng.create ~seed:0 in
+  match
+    Adversary.Random_workload.make ~rng ~n:2 ~d:2 ~rounds:5 ~load:1.0
+      ~alternatives:3 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "blocks",
+        [
+          Alcotest.test_case "pair" `Quick test_block_pair;
+          Alcotest.test_case "ring" `Quick test_block_ring;
+          Alcotest.test_case "one" `Quick test_block_one;
+          Alcotest.test_case "ring needs two" `Quick test_ring_needs_two;
+        ] );
+      ( "theorem exactness",
+        [
+          Alcotest.test_case "thm 2.1" `Quick test_thm21_exact;
+          Alcotest.test_case "thm 2.2" `Quick test_thm22_exact_opt;
+          Alcotest.test_case "thm 2.3" `Quick test_thm23_exact;
+          Alcotest.test_case "thm 2.4" `Quick test_thm24_exact;
+          Alcotest.test_case "thm 2.5" `Quick test_thm25_exact;
+          Alcotest.test_case "thm 3.7" `Quick test_thm37_exact;
+          Alcotest.test_case "parameter validation" `Quick
+            test_parameter_validation;
+        ] );
+      ( "thm 2.6 adaptive",
+        [
+          Alcotest.test_case "optimum and bound" `Quick
+            test_thm26_opt_and_bound;
+          Alcotest.test_case "deterministic" `Quick test_thm26_adapts;
+        ] );
+      ( "periodicity",
+        [
+          Alcotest.test_case "steady states" `Quick
+            test_scenarios_reach_steady_state;
+        ] );
+      ( "random workloads",
+        [
+          Alcotest.test_case "shapes" `Quick test_random_workload_shapes;
+          Alcotest.test_case "determinism" `Quick
+            test_random_workload_determinism;
+          Alcotest.test_case "zipf skew" `Quick test_random_workload_zipf_skew;
+          Alcotest.test_case "mixed deadlines" `Quick
+            test_random_workload_mixed_deadlines;
+          Alcotest.test_case "validation" `Quick
+            test_random_workload_validation;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the bounded-bandwidth communication model: capacity
+   enforcement, the LDF overflow rule, tie-breaking, tagged bypass and
+   the traffic meters. *)
+
+module Net = Distnet.Net
+
+let check = Alcotest.check
+
+let msg ?(tagged = false) ~sender ~dst ~deadline payload =
+  { Net.sender; dst; deadline_key = deadline; tagged; payload }
+
+let delivered results =
+  List.filter_map (fun (m, ok) -> if ok then Some m.Net.sender else None)
+    results
+  |> List.sort compare
+
+let bounced results =
+  List.filter_map (fun (m, ok) -> if ok then None else Some m.Net.sender)
+    results
+  |> List.sort compare
+
+let test_all_delivered_under_capacity () =
+  let net = Net.create ~n:2 ~capacity:3 () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:0 ~dst:0 ~deadline:5 ();
+        msg ~sender:1 ~dst:0 ~deadline:5 ();
+        msg ~sender:2 ~dst:1 ~deadline:5 ();
+      ]
+  in
+  check Alcotest.(list int) "all delivered" [ 0; 1; 2 ] (delivered results);
+  check Alcotest.int "one comm round" 1 (Net.comm_rounds net);
+  check Alcotest.int "messages counted" 3 (Net.messages_sent net);
+  check Alcotest.int "none bounced" 0 (Net.messages_bounced net)
+
+let test_capacity_cut_ldf () =
+  (* capacity 2, three messages; the latest deadlines win *)
+  let net = Net.create ~n:1 ~capacity:2 () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:0 ~dst:0 ~deadline:3 ();
+        msg ~sender:1 ~dst:0 ~deadline:9 ();
+        msg ~sender:2 ~dst:0 ~deadline:7 ();
+      ]
+  in
+  check Alcotest.(list int) "latest deadlines kept" [ 1; 2 ]
+    (delivered results);
+  check Alcotest.(list int) "earliest bounced" [ 0 ] (bounced results);
+  check Alcotest.int "bounce counted" 1 (Net.messages_bounced net)
+
+let test_tie_break_by_priority_then_id () =
+  let priority ~sender ~dst:_ = if sender = 5 then 10 else 0 in
+  let net = Net.create ~n:1 ~capacity:2 ~priority () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:3 ~dst:0 ~deadline:4 ();
+        msg ~sender:4 ~dst:0 ~deadline:4 ();
+        msg ~sender:5 ~dst:0 ~deadline:4 ();
+      ]
+  in
+  (* all deadlines equal: priority keeps 5, then lowest id keeps 3 *)
+  check Alcotest.(list int) "priority then id" [ 3; 5 ] (delivered results)
+
+let test_tagged_bypass () =
+  let net = Net.create ~n:1 ~capacity:1 () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:0 ~dst:0 ~deadline:9 ();
+        msg ~tagged:true ~sender:1 ~dst:0 ~deadline:1 ();
+      ]
+  in
+  (* the tagged message does not consume capacity: both arrive *)
+  check Alcotest.(list int) "tagged plus one" [ 0; 1 ] (delivered results)
+
+let test_empty_exchange_free () =
+  let net = Net.create ~n:2 ~capacity:1 () in
+  check Alcotest.int "no results" 0 (List.length (Net.exchange net []));
+  check Alcotest.int "no comm round" 0 (Net.comm_rounds net);
+  Net.tick net;
+  check Alcotest.int "tick counts" 1 (Net.comm_rounds net)
+
+let test_per_destination_capacity () =
+  (* capacity applies per resource, not globally *)
+  let net = Net.create ~n:2 ~capacity:1 () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:0 ~dst:0 ~deadline:5 ();
+        msg ~sender:1 ~dst:1 ~deadline:5 ();
+        msg ~sender:2 ~dst:0 ~deadline:9 ();
+      ]
+  in
+  check Alcotest.(list int) "one per destination" [ 1; 2 ] (delivered results)
+
+let test_reset_counters () =
+  let net = Net.create ~n:1 ~capacity:1 () in
+  ignore (Net.exchange net [ msg ~sender:0 ~dst:0 ~deadline:1 () ]);
+  Net.reset_counters net;
+  check Alcotest.int "rounds reset" 0 (Net.comm_rounds net);
+  check Alcotest.int "messages reset" 0 (Net.messages_sent net)
+
+let test_validation () =
+  (match Net.create ~n:0 ~capacity:1 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "n=0 accepted");
+  (match Net.create ~n:1 ~capacity:0 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "capacity=0 accepted");
+  let net = Net.create ~n:1 ~capacity:1 () in
+  match Net.exchange net [ msg ~sender:0 ~dst:7 ~deadline:1 () ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad destination accepted"
+
+let test_loss_drops_untagged_only () =
+  let rng = Prelude.Rng.create ~seed:4 in
+  let net = Net.create ~n:1 ~capacity:100 ~loss:1.0 ~loss_rng:rng () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:0 ~dst:0 ~deadline:5 ();
+        msg ~tagged:true ~sender:1 ~dst:0 ~deadline:5 ();
+      ]
+  in
+  check Alcotest.(list int) "only the tagged survives total loss" [ 1 ]
+    (delivered results);
+  check Alcotest.(list int) "untagged dropped" [ 0 ] (bounced results)
+
+let test_loss_zero_is_lossless () =
+  let net = Net.create ~n:1 ~capacity:10 ~loss:0.0 () in
+  let results =
+    Net.exchange net (List.init 5 (fun i -> msg ~sender:i ~dst:0 ~deadline:1 ()))
+  in
+  check Alcotest.int "all delivered" 5 (List.length (delivered results))
+
+let test_loss_statistics () =
+  let rng = Prelude.Rng.create ~seed:5 in
+  let net = Net.create ~n:1 ~capacity:10_000 ~loss:0.3 ~loss_rng:rng () in
+  let results =
+    Net.exchange net
+      (List.init 10_000 (fun i -> msg ~sender:i ~dst:0 ~deadline:1 ()))
+  in
+  let dropped = List.length (bounced results) in
+  check Alcotest.bool "about 30% dropped" true
+    (abs (dropped - 3000) < 300)
+
+let test_loss_validation () =
+  match Net.create ~n:1 ~capacity:1 ~loss:1.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "loss > 1 accepted"
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let prop_capacity_never_exceeded =
+  qtest "at most capacity untagged messages delivered per resource"
+    QCheck.(triple (int_range 1 4) (int_range 1 4)
+              (list_of_size Gen.(int_range 0 25)
+                 (pair (int_range 0 3) (int_range 0 9))))
+    (fun (n, capacity, raw) ->
+       let net = Net.create ~n ~capacity () in
+       let msgs =
+         List.mapi
+           (fun i (dst, deadline) ->
+              msg ~sender:i ~dst:(dst mod n) ~deadline ())
+           raw
+       in
+       let results = Net.exchange net msgs in
+       let per_dst = Array.make n 0 in
+       List.iter
+         (fun (m, ok) ->
+            if ok then per_dst.(m.Net.dst) <- per_dst.(m.Net.dst) + 1)
+         results;
+       Array.for_all (fun c -> c <= capacity) per_dst)
+
+let prop_ldf_dominance =
+  qtest "every delivered untagged message has deadline >= every bounced \
+         one at the same resource"
+    QCheck.(pair (int_range 1 3)
+              (list_of_size Gen.(int_range 0 20)
+                 (pair (int_range 0 1) (int_range 0 9))))
+    (fun (capacity, raw) ->
+       let net = Net.create ~n:2 ~capacity () in
+       let msgs =
+         List.mapi
+           (fun i (dst, deadline) -> msg ~sender:i ~dst ~deadline ())
+           raw
+       in
+       let results = Net.exchange net msgs in
+       List.for_all
+         (fun (m, ok) ->
+            ok
+            || List.for_all
+                 (fun (m', ok') ->
+                    (not ok') || m'.Net.dst <> m.Net.dst
+                    || m'.Net.deadline_key >= m.Net.deadline_key)
+                 results)
+         results)
+
+let () =
+  Alcotest.run "distnet"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "under capacity" `Quick
+            test_all_delivered_under_capacity;
+          Alcotest.test_case "LDF cut" `Quick test_capacity_cut_ldf;
+          Alcotest.test_case "tie break" `Quick
+            test_tie_break_by_priority_then_id;
+          Alcotest.test_case "tagged bypass" `Quick test_tagged_bypass;
+          Alcotest.test_case "empty exchange" `Quick test_empty_exchange_free;
+          Alcotest.test_case "per destination" `Quick
+            test_per_destination_capacity;
+          Alcotest.test_case "reset" `Quick test_reset_counters;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "drops untagged only" `Quick
+            test_loss_drops_untagged_only;
+          Alcotest.test_case "zero is lossless" `Quick
+            test_loss_zero_is_lossless;
+          Alcotest.test_case "statistics" `Quick test_loss_statistics;
+          Alcotest.test_case "validation" `Quick test_loss_validation;
+        ] );
+      ("properties", [ prop_capacity_never_exceeded; prop_ldf_dominance ]);
+    ]

@@ -1,0 +1,652 @@
+(* Tests for the graph substrate: bipartite graphs, matchings,
+   Hopcroft-Karp, the tiered-weight matching engine, Dinic max-flow and
+   the alternating-path decomposition, each validated against brute-force
+   oracles on randomly generated small graphs. *)
+
+module Rng = Prelude.Rng
+module Bipartite = Graph.Bipartite
+module Matching = Graph.Matching
+module Hopcroft_karp = Graph.Hopcroft_karp
+module Lexvec = Graph.Lexvec
+module Tiered = Graph.Tiered
+module Maxflow = Graph.Maxflow
+module Brute = Graph.Brute
+module Altpath = Graph.Altpath
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Random small bipartite graph described by (n_left, n_right, edge list);
+   the generator deduplicates so edge counts stay meaningful. *)
+let graph_gen =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun nl ->
+    int_range 1 6 >>= fun nr ->
+    int_range 0 12 >>= fun ne ->
+    list_size (return ne) (pair (int_range 0 (nl - 1)) (int_range 0 (nr - 1)))
+    >>= fun edges ->
+    return (nl, nr, List.sort_uniq compare edges))
+
+let graph_arb =
+  QCheck.make graph_gen ~print:(fun (nl, nr, es) ->
+      Printf.sprintf "nl=%d nr=%d edges=[%s]" nl nr
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) es)))
+
+let build (nl, nr, edges) =
+  let g = Bipartite.create ~n_left:nl ~n_right:nr in
+  List.iter (fun (u, v) -> ignore (Bipartite.add_edge g ~left:u ~right:v)) edges;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Bipartite *)
+
+let test_bipartite_basics () =
+  let g = Bipartite.create ~n_left:3 ~n_right:2 in
+  let e0 = Bipartite.add_edge g ~left:0 ~right:1 in
+  let e1 = Bipartite.add_edge g ~left:2 ~right:0 in
+  check Alcotest.int "edge ids sequential" 0 e0;
+  check Alcotest.int "edge ids sequential" 1 e1;
+  check Alcotest.int "n_edges" 2 (Bipartite.n_edges g);
+  check Alcotest.int "endpoint" 2 (Bipartite.edge_left g e1);
+  check Alcotest.int "endpoint" 0 (Bipartite.edge_right g e1);
+  check Alcotest.int "degree" 1 (Bipartite.degree_left g 0);
+  check Alcotest.int "degree" 0 (Bipartite.degree_left g 1);
+  check Alcotest.bool "has_edge" true (Bipartite.has_edge g ~left:0 ~right:1);
+  check Alcotest.bool "has_edge" false (Bipartite.has_edge g ~left:0 ~right:0)
+
+let test_bipartite_bounds () =
+  let g = Bipartite.create ~n_left:1 ~n_right:1 in
+  Alcotest.check_raises "left oob"
+    (Invalid_argument "Bipartite.add_edge: left endpoint out of range")
+    (fun () -> ignore (Bipartite.add_edge g ~left:1 ~right:0));
+  Alcotest.check_raises "right oob"
+    (Invalid_argument "Bipartite.add_edge: right endpoint out of range")
+    (fun () -> ignore (Bipartite.add_edge g ~left:0 ~right:(-1)))
+
+let test_bipartite_iter_edges () =
+  let g = build (3, 3, [ (0, 0); (1, 1); (2, 2) ]) in
+  let seen = ref [] in
+  Bipartite.iter_edges g (fun id ~left ~right ->
+      seen := (id, left, right) :: !seen);
+  check Alcotest.int "three edges" 3 (List.length !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Matching *)
+
+let test_matching_use_drop () =
+  let g = build (2, 2, [ (0, 0); (0, 1); (1, 1) ]) in
+  let m = Matching.empty g in
+  Matching.use_edge g m 0;
+  check Alcotest.int "size" 1 (Matching.size m);
+  check Alcotest.bool "valid" true (Matching.is_valid g m);
+  Alcotest.check_raises "double use"
+    (Invalid_argument "Matching.use_edge: left endpoint already matched")
+    (fun () -> Matching.use_edge g m 1);
+  Matching.drop_left m 0;
+  check Alcotest.int "size after drop" 0 (Matching.size m);
+  Matching.use_edge g m 1 (* now legal *)
+
+let test_matching_greedy_maximal () =
+  let g = build (3, 3, [ (0, 0); (0, 1); (1, 0); (2, 2) ]) in
+  let m = Matching.greedy_maximal g in
+  check Alcotest.bool "valid" true (Matching.is_valid g m);
+  check Alcotest.bool "maximal" true (Matching.is_maximal g m)
+
+let prop_greedy_maximal =
+  qtest "greedy matching is always valid and maximal" graph_arb (fun spec ->
+      let g = build spec in
+      let m = Matching.greedy_maximal g in
+      Matching.is_valid g m && Matching.is_maximal g m)
+
+let test_matching_augment_along () =
+  (* path: 0-0 (unmatched), 1-0 (matched), 1-1 (unmatched) *)
+  let g = build (2, 2, [ (0, 0); (1, 0); (1, 1) ]) in
+  let m = Matching.empty g in
+  Matching.use_edge g m 1;
+  Matching.augment_along g m [ 0; 1; 2 ];
+  check Alcotest.int "size 2" 2 (Matching.size m);
+  check Alcotest.bool "valid" true (Matching.is_valid g m);
+  check Alcotest.int "0 -> slot 0" 0 m.Matching.left_to.(0);
+  check Alcotest.int "1 -> slot 1" 1 m.Matching.left_to.(1)
+
+let test_matching_augment_rejects_nonsense () =
+  let g = build (2, 2, [ (0, 0); (1, 0); (1, 1) ]) in
+  let m = Matching.empty g in
+  Matching.use_edge g m 1;
+  Alcotest.check_raises "even-length path"
+    (Invalid_argument "Matching.augment_along: path does not alternate")
+    (fun () -> Matching.augment_along g m [ 0; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Hopcroft-Karp *)
+
+let test_hk_simple () =
+  (* perfect matching on a 3x3 cycle-ish graph *)
+  let g = build (3, 3, [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 2); (2, 0) ]) in
+  let m = Hopcroft_karp.solve g in
+  check Alcotest.int "perfect" 3 (Matching.size m);
+  check Alcotest.bool "valid" true (Matching.is_valid g m)
+
+let test_hk_star () =
+  (* all left vertices want the same right vertex *)
+  let g = build (4, 1, [ (0, 0); (1, 0); (2, 0); (3, 0) ]) in
+  check Alcotest.int "only one fits" 1 (Hopcroft_karp.max_matching_size g)
+
+let test_hk_empty () =
+  let g = Bipartite.create ~n_left:3 ~n_right:3 in
+  check Alcotest.int "no edges" 0 (Hopcroft_karp.max_matching_size g)
+
+let prop_hk_matches_brute =
+  qtest ~count:500 "Hopcroft-Karp size = brute force" graph_arb (fun spec ->
+      let g = build spec in
+      Hopcroft_karp.max_matching_size g = Brute.max_matching_size g)
+
+let prop_hk_valid =
+  qtest "Hopcroft-Karp output is a valid matching" graph_arb (fun spec ->
+      let g = build spec in
+      Matching.is_valid g (Hopcroft_karp.solve g))
+
+let prop_hk_warm_start =
+  qtest "solve_from greedy equals solve from empty" graph_arb (fun spec ->
+      let g = build spec in
+      let cold = Hopcroft_karp.solve g in
+      let warm = Hopcroft_karp.solve_from g (Matching.greedy_maximal g) in
+      Matching.size cold = Matching.size warm && Matching.is_valid g warm)
+
+let prop_koenig_certificate =
+  qtest ~count:500 "Koenig cover certifies every maximum matching"
+    graph_arb (fun spec ->
+        let g = build spec in
+        let m = Hopcroft_karp.solve g in
+        Hopcroft_karp.is_koenig_certificate g m)
+
+let prop_koenig_rejects_non_maximum =
+  qtest ~count:300 "Koenig certificate fails on smaller matchings"
+    graph_arb (fun spec ->
+        let g = build spec in
+        let best = Hopcroft_karp.max_matching_size g in
+        let greedy = Matching.greedy_maximal g in
+        (* if greedy happens to be maximum the certificate must hold;
+           if it is strictly smaller the size condition must fail *)
+        if Matching.size greedy = best then
+          Hopcroft_karp.is_koenig_certificate g greedy
+        else not (Hopcroft_karp.is_koenig_certificate g greedy))
+
+let test_koenig_cover_contents () =
+  (* path: l0-r0, l1-r0, l1-r1: maximum matching size 2, cover {l1, r0}
+     or equivalent of size 2 *)
+  let g = build (2, 2, [ (0, 0); (1, 0); (1, 1) ]) in
+  let m = Hopcroft_karp.solve g in
+  let lefts, rights = Hopcroft_karp.min_vertex_cover g m in
+  check Alcotest.int "cover size = matching size" 2
+    (List.length lefts + List.length rights);
+  check Alcotest.bool "certificate" true
+    (Hopcroft_karp.is_koenig_certificate g m)
+
+(* ------------------------------------------------------------------ *)
+(* Lexvec *)
+
+let test_lexvec_order () =
+  check Alcotest.bool "(1,0) > (0,9)" true
+    Lexvec.([| 1; 0 |] > [| 0; 9 |]);
+  check Alcotest.bool "(0,1) < (1,-5)" true
+    Lexvec.([| 0; 1 |] < [| 1; -5 |]);
+  check Alcotest.int "equal" 0 (Lexvec.compare [| 2; 3 |] [| 2; 3 |])
+
+let test_lexvec_group_ops () =
+  let a = [| 1; -2; 3 |] and b = [| 0; 5; -1 |] in
+  check Alcotest.(array int) "add" [| 1; 3; 2 |] (Lexvec.add a b);
+  check Alcotest.(array int) "sub" [| 1; -7; 4 |] (Lexvec.sub a b);
+  check Alcotest.(array int) "neg" [| -1; 2; -3 |] (Lexvec.neg a);
+  check Alcotest.bool "pos" true (Lexvec.is_positive [| 0; 0; 1 |]);
+  check Alcotest.bool "neg vec" true (Lexvec.is_negative [| 0; -1; 99 |]);
+  check Alcotest.string "to_string" "(1,-2,3)" (Lexvec.to_string a)
+
+let test_lexvec_len_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Lexvec.add: length mismatch") (fun () ->
+        ignore (Lexvec.add [| 1 |] [| 1; 2 |]))
+
+let prop_lexvec_total_order =
+  let vec = QCheck.(list_of_size (QCheck.Gen.return 3) (int_range (-5) 5)) in
+  qtest "lexicographic order is transitive and antisymmetric"
+    QCheck.(triple vec vec vec)
+    (fun (a, b, c) ->
+       let a = Array.of_list a and b = Array.of_list b and c = Array.of_list c in
+       let t =
+         if Lexvec.compare a b <= 0 && Lexvec.compare b c <= 0 then
+           Lexvec.compare a c <= 0
+         else true
+       in
+       let anti = (Lexvec.compare a b = 0) = (a = b) in
+       t && anti)
+
+(* ------------------------------------------------------------------ *)
+(* Tiered matching *)
+
+(* weights: random per edge in [-2, 5] on 2 tiers; the brute oracle is
+   the ground truth for the achieved maximum total weight *)
+let weights_gen ne =
+  QCheck.Gen.(list_size (return ne)
+                (pair (int_range (-2) 5) (int_range (-2) 5)))
+
+let tiered_case_gen =
+  QCheck.Gen.(
+    graph_gen >>= fun (nl, nr, edges) ->
+    weights_gen (List.length edges) >>= fun ws ->
+    return ((nl, nr, edges), ws))
+
+let tiered_arb =
+  QCheck.make tiered_case_gen ~print:(fun ((nl, nr, es), ws) ->
+      Printf.sprintf "nl=%d nr=%d edges=[%s] w=[%s]" nl nr
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) es))
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ws)))
+
+let prop_tiered_matches_brute =
+  qtest ~count:500 "tiered matching weight = brute-force optimum" tiered_arb
+    (fun (spec, ws) ->
+       let g = build spec in
+       let warr = Array.of_list ws in
+       let weight id =
+         let a, b = warr.(id) in
+         [| a; b |]
+       in
+       let m = Tiered.solve g ~weight in
+       Matching.is_valid g m
+       && Lexvec.equal
+            (Tiered.weight_of g ~weight m)
+            (Brute.max_weight g ~weight))
+
+let prop_tiered_certificate =
+  qtest ~count:300 "tiered matching passes its optimality certificate"
+    tiered_arb (fun (spec, ws) ->
+        let g = build spec in
+        let warr = Array.of_list ws in
+        let weight id =
+          let a, b = warr.(id) in
+          [| a; b |]
+        in
+        let m = Tiered.solve g ~weight in
+        Tiered.is_max_weight_certificate g ~weight m)
+
+let prop_tiered_three_tiers =
+  (* deeper tier stacks (the balance strategies use d+3) must stay
+     exact; weights include negatives in the lowest tier like the
+     adversarial biases do *)
+  let case_gen =
+    QCheck.Gen.(
+      graph_gen >>= fun (nl, nr, edges) ->
+      list_size (return (List.length edges))
+        (triple (int_range 0 2) (int_range (-1) 2) (int_range (-3) 3))
+      >>= fun ws -> return ((nl, nr, edges), ws))
+  in
+  qtest ~count:400 "tiered matching exact with three tiers"
+    (QCheck.make case_gen ~print:(fun ((nl, nr, es), _) ->
+         Printf.sprintf "nl=%d nr=%d edges=%d" nl nr (List.length es)))
+    (fun (spec, ws) ->
+       let g = build spec in
+       let warr = Array.of_list ws in
+       let weight id =
+         let a, b, c = warr.(id) in
+         [| a; b; c |]
+       in
+       let m = Tiered.solve g ~weight in
+       Lexvec.equal
+         (Tiered.weight_of g ~weight m)
+         (Brute.max_weight g ~weight))
+
+let prop_altpath_two_maximum_matchings =
+  (* two maximum matchings differ only by even paths and cycles *)
+  qtest ~count:300 "no augmenting paths between two maximum matchings"
+    graph_arb (fun spec ->
+        let g = build spec in
+        let m1 = Hopcroft_karp.solve g in
+        (* a second maximum matching from a different start *)
+        let m2 = Hopcroft_karp.solve_from g (Matching.greedy_maximal g) in
+        List.for_all
+          (fun c ->
+             match c.Altpath.kind with
+             | Altpath.Augmenting_first | Altpath.Augmenting_second -> false
+             | Altpath.Even_path | Altpath.Cycle -> true)
+          (Altpath.decompose g m1 m2))
+
+let prop_tiered_positive_weights_max_cardinality =
+  qtest ~count:300
+    "all-positive top tier forces maximum cardinality" graph_arb
+    (fun spec ->
+       let g = build spec in
+       let weight _ = [| 1; 0 |] in
+       let m = Tiered.solve g ~weight in
+       Matching.size m = Brute.max_matching_size g)
+
+let test_tiered_prefers_top_tier () =
+  (* two left, one right; edge 0 wins tier 0, edge 1 wins tier 1 *)
+  let g = build (2, 1, [ (0, 0); (1, 0) ]) in
+  let weight = function 0 -> [| 1; 0 |] | _ -> [| 0; 9 |] in
+  let m = Tiered.solve g ~weight in
+  check Alcotest.int "edge 0 chosen" 0 m.Matching.left_to.(0);
+  check Alcotest.int "left 1 free" (-1) m.Matching.left_to.(1)
+
+let test_tiered_bias_tier_steers_ties () =
+  (* square: both perfect matchings have equal cardinality; bias picks
+     the 'crossed' one *)
+  let g = build (2, 2, [ (0, 0); (0, 1); (1, 0); (1, 1) ]) in
+  let weight = function
+    | 1 | 2 -> [| 1; 1 |] (* crossed edges carry bias *)
+    | _ -> [| 1; 0 |]
+  in
+  let m = Tiered.solve g ~weight in
+  check Alcotest.int "0 -> 1" 1 m.Matching.left_to.(0);
+  check Alcotest.int "1 -> 0" 0 m.Matching.left_to.(1)
+
+let test_tiered_skips_negative_gain () =
+  (* single edge with negative weight: empty matching is optimal *)
+  let g = build (1, 1, [ (0, 0) ]) in
+  let m = Tiered.solve g ~weight:(fun _ -> [| -1 |]) in
+  check Alcotest.int "empty" 0 (Matching.size m)
+
+let test_tiered_weight_length_mismatch () =
+  let g = build (1, 2, [ (0, 0); (0, 1) ]) in
+  let weight = function 0 -> [| 1 |] | _ -> [| 1; 2 |] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Tiered: edge 1 weight length 2, expected 1")
+    (fun () -> ignore (Tiered.solve g ~weight))
+
+(* ------------------------------------------------------------------ *)
+(* Maxflow *)
+
+let test_maxflow_simple () =
+  (* source 0 -> {1,2} -> sink 3 *)
+  let f = Maxflow.create ~n_nodes:4 in
+  ignore (Maxflow.add_edge f ~src:0 ~dst:1 ~cap:3);
+  ignore (Maxflow.add_edge f ~src:0 ~dst:2 ~cap:2);
+  ignore (Maxflow.add_edge f ~src:1 ~dst:3 ~cap:2);
+  ignore (Maxflow.add_edge f ~src:2 ~dst:3 ~cap:4);
+  check Alcotest.int "maxflow" 4 (Maxflow.max_flow f ~source:0 ~sink:3)
+
+let test_maxflow_bottleneck () =
+  let f = Maxflow.create ~n_nodes:3 in
+  ignore (Maxflow.add_edge f ~src:0 ~dst:1 ~cap:100);
+  let mid = Maxflow.add_edge f ~src:1 ~dst:2 ~cap:7 in
+  check Alcotest.int "bottleneck" 7 (Maxflow.max_flow f ~source:0 ~sink:2);
+  check Alcotest.int "flow on arc" 7 (Maxflow.flow_on f mid)
+
+let test_maxflow_min_cut () =
+  let f = Maxflow.create ~n_nodes:4 in
+  ignore (Maxflow.add_edge f ~src:0 ~dst:1 ~cap:3);
+  ignore (Maxflow.add_edge f ~src:0 ~dst:2 ~cap:2);
+  ignore (Maxflow.add_edge f ~src:1 ~dst:3 ~cap:2);
+  ignore (Maxflow.add_edge f ~src:2 ~dst:3 ~cap:4);
+  let flow = Maxflow.max_flow f ~source:0 ~sink:3 in
+  check Alcotest.bool "cut certificate" true
+    (Maxflow.is_cut_certificate f ~source:0 ~sink:3 ~flow);
+  let cut = Maxflow.min_cut f ~source:0 in
+  check Alcotest.bool "source in cut" true (List.mem 0 cut);
+  check Alcotest.bool "sink not in cut" false (List.mem 3 cut)
+
+let prop_maxflow_cut_certificate =
+  qtest ~count:300 "min-cut certificate holds on random unit networks"
+    graph_arb (fun (nl, nr, edges) ->
+        let f = Maxflow.create ~n_nodes:(nl + nr + 2) in
+        let source = nl + nr in
+        let sink = source + 1 in
+        for u = 0 to nl - 1 do
+          ignore (Maxflow.add_edge f ~src:source ~dst:u ~cap:1)
+        done;
+        for v = 0 to nr - 1 do
+          ignore (Maxflow.add_edge f ~src:(nl + v) ~dst:sink ~cap:1)
+        done;
+        List.iter
+          (fun (u, v) ->
+             ignore (Maxflow.add_edge f ~src:u ~dst:(nl + v) ~cap:1))
+          edges;
+        let flow = Maxflow.max_flow f ~source ~sink in
+        Maxflow.is_cut_certificate f ~source ~sink ~flow)
+
+let test_maxflow_disconnected () =
+  let f = Maxflow.create ~n_nodes:4 in
+  ignore (Maxflow.add_edge f ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge f ~src:2 ~dst:3 ~cap:5);
+  check Alcotest.int "no path" 0 (Maxflow.max_flow f ~source:0 ~sink:3)
+
+let prop_maxflow_equals_matching =
+  (* unit-capacity bipartite flow = maximum matching *)
+  qtest ~count:400 "unit bipartite max-flow = max matching" graph_arb
+    (fun (nl, nr, edges) ->
+       let g = build (nl, nr, edges) in
+       let f = Maxflow.create ~n_nodes:(nl + nr + 2) in
+       let source = nl + nr and sink = nl + nr + 1 in
+       for u = 0 to nl - 1 do
+         ignore (Maxflow.add_edge f ~src:source ~dst:u ~cap:1)
+       done;
+       for v = 0 to nr - 1 do
+         ignore (Maxflow.add_edge f ~src:(nl + v) ~dst:sink ~cap:1)
+       done;
+       List.iter
+         (fun (u, v) -> ignore (Maxflow.add_edge f ~src:u ~dst:(nl + v) ~cap:1))
+         edges;
+       Maxflow.max_flow f ~source ~sink = Brute.max_matching_size g)
+
+let prop_maxflow_grouping_invariance =
+  (* duplicating a left vertex k times with unit capacities equals giving
+     it capacity k: the grouped-OPT trick used by lib/offline *)
+  qtest ~count:200 "grouped capacity = expanded duplicates"
+    QCheck.(pair graph_arb (int_range 1 3))
+    (fun ((nl, nr, edges), k) ->
+       (* expanded: k copies of each left vertex *)
+       let fe = Maxflow.create ~n_nodes:((nl * k) + nr + 2) in
+       let source = (nl * k) + nr in
+       let sink = source + 1 in
+       for u = 0 to (nl * k) - 1 do
+         ignore (Maxflow.add_edge fe ~src:source ~dst:u ~cap:1)
+       done;
+       for v = 0 to nr - 1 do
+         ignore (Maxflow.add_edge fe ~src:((nl * k) + v) ~dst:sink ~cap:1)
+       done;
+       List.iter
+         (fun (u, v) ->
+            for c = 0 to k - 1 do
+              ignore
+                (Maxflow.add_edge fe ~src:((u * k) + c) ~dst:((nl * k) + v)
+                   ~cap:1)
+            done)
+         edges;
+       let expanded = Maxflow.max_flow fe ~source ~sink in
+       (* grouped: one node per left vertex with source capacity k *)
+       let fg = Maxflow.create ~n_nodes:(nl + nr + 2) in
+       let source = nl + nr and sink = nl + nr + 1 in
+       for u = 0 to nl - 1 do
+         ignore (Maxflow.add_edge fg ~src:source ~dst:u ~cap:k)
+       done;
+       for v = 0 to nr - 1 do
+         ignore (Maxflow.add_edge fg ~src:(nl + v) ~dst:sink ~cap:1)
+       done;
+       List.iter
+         (fun (u, v) -> ignore (Maxflow.add_edge fg ~src:u ~dst:(nl + v) ~cap:1))
+         edges;
+       Maxflow.max_flow fg ~source ~sink = expanded)
+
+(* ------------------------------------------------------------------ *)
+(* Altpath *)
+
+let test_altpath_single_augmenting () =
+  (* M1 empty, M2 = {0-0}: one augmenting path of order 1 *)
+  let g = build (1, 1, [ (0, 0) ]) in
+  let m1 = Matching.empty g in
+  let m2 = Matching.empty g in
+  Matching.use_edge g m2 0;
+  (match Altpath.decompose g m1 m2 with
+   | [ c ] ->
+     check Alcotest.bool "augmenting for first" true
+       (c.Altpath.kind = Altpath.Augmenting_first);
+     check Alcotest.int "order 1" 1 (Altpath.order c)
+   | other ->
+     Alcotest.failf "expected one component, got %d" (List.length other));
+  check Alcotest.(list (pair int int)) "census" [ (1, 1) ]
+    (Altpath.census g m1 m2)
+
+let test_altpath_order2 () =
+  (* M1 = {r1-s0}; M2 = {r0-s0, r1-s1}: augmenting path of order 2 *)
+  let g = build (2, 2, [ (0, 0); (1, 0); (1, 1) ]) in
+  let m1 = Matching.empty g in
+  Matching.use_edge g m1 1;
+  let m2 = Matching.empty g in
+  Matching.use_edge g m2 0;
+  Matching.use_edge g m2 2;
+  check Alcotest.(list (pair int int)) "one order-2 path" [ (2, 1) ]
+    (Altpath.census g m1 m2)
+
+let test_altpath_cycle () =
+  (* square with opposite perfect matchings: one cycle, no augmenting *)
+  let g = build (2, 2, [ (0, 0); (0, 1); (1, 0); (1, 1) ]) in
+  let m1 = Matching.empty g in
+  Matching.use_edge g m1 0;
+  Matching.use_edge g m1 3;
+  let m2 = Matching.empty g in
+  Matching.use_edge g m2 1;
+  Matching.use_edge g m2 2;
+  (match Altpath.decompose g m1 m2 with
+   | [ c ] ->
+     check Alcotest.bool "cycle" true (c.Altpath.kind = Altpath.Cycle);
+     check Alcotest.int "4 edges" 4 (List.length c.Altpath.edges)
+   | other ->
+     Alcotest.failf "expected one component, got %d" (List.length other));
+  check Alcotest.(list (pair int int)) "no augmenting paths" []
+    (Altpath.census g m1 m2)
+
+let test_altpath_identical_matchings () =
+  let g = build (2, 2, [ (0, 0); (1, 1) ]) in
+  let m = Matching.greedy_maximal g in
+  check Alcotest.(list (pair int int)) "empty census" []
+    (Altpath.census g m m);
+  check Alcotest.int "no components" 0 (List.length (Altpath.decompose g m m))
+
+let prop_altpath_counts_gap =
+  (* |OPT| - |ALG| = number of augmenting-for-ALG components when ALG is
+     maximal (no order-1 freebies needed); in general the identity holds
+     for any two matchings *)
+  qtest ~count:400 "size gap = #aug_first - #aug_second" graph_arb
+    (fun spec ->
+       let g = build spec in
+       let m1 = Matching.greedy_maximal g in
+       let m2 = Hopcroft_karp.solve g in
+       let comps = Altpath.decompose g m1 m2 in
+       let aug1 =
+         List.length
+           (List.filter (fun c -> c.Altpath.kind = Altpath.Augmenting_first)
+              comps)
+       in
+       let aug2 =
+         List.length
+           (List.filter (fun c -> c.Altpath.kind = Altpath.Augmenting_second)
+              comps)
+       in
+       Matching.size m2 - Matching.size m1 = aug1 - aug2)
+
+let prop_altpath_edges_partition_symdiff =
+  qtest ~count:300 "components exactly cover the symmetric difference"
+    graph_arb (fun spec ->
+        let g = build spec in
+        let m1 = Matching.greedy_maximal g in
+        let m2 = Hopcroft_karp.solve g in
+        let comps = Altpath.decompose g m1 m2 in
+        let covered = Hashtbl.create 16 in
+        List.iter
+          (fun c ->
+             List.iter
+               (fun id ->
+                  if Hashtbl.mem covered id then failwith "duplicate edge";
+                  Hashtbl.replace covered id ())
+               c.Altpath.edges)
+          comps;
+        let expected = ref 0 in
+        Bipartite.iter_edges g (fun id ~left ~right:_ ->
+            let in1 = m1.Matching.left_edge.(left) = id in
+            let in2 = m2.Matching.left_edge.(left) = id in
+            if in1 <> in2 then begin
+              incr expected;
+              if not (Hashtbl.mem covered id) then failwith "missing edge"
+            end);
+        Hashtbl.length covered = !expected)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "bipartite",
+        [
+          Alcotest.test_case "basics" `Quick test_bipartite_basics;
+          Alcotest.test_case "bounds" `Quick test_bipartite_bounds;
+          Alcotest.test_case "iter_edges" `Quick test_bipartite_iter_edges;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "use/drop" `Quick test_matching_use_drop;
+          Alcotest.test_case "greedy maximal" `Quick
+            test_matching_greedy_maximal;
+          Alcotest.test_case "augment_along" `Quick test_matching_augment_along;
+          Alcotest.test_case "augment rejects nonsense" `Quick
+            test_matching_augment_rejects_nonsense;
+          prop_greedy_maximal;
+        ] );
+      ( "hopcroft_karp",
+        [
+          Alcotest.test_case "simple" `Quick test_hk_simple;
+          Alcotest.test_case "star" `Quick test_hk_star;
+          Alcotest.test_case "empty" `Quick test_hk_empty;
+          Alcotest.test_case "koenig cover contents" `Quick
+            test_koenig_cover_contents;
+          prop_hk_matches_brute;
+          prop_hk_valid;
+          prop_hk_warm_start;
+          prop_koenig_certificate;
+          prop_koenig_rejects_non_maximum;
+        ] );
+      ( "lexvec",
+        [
+          Alcotest.test_case "order" `Quick test_lexvec_order;
+          Alcotest.test_case "group ops" `Quick test_lexvec_group_ops;
+          Alcotest.test_case "length mismatch" `Quick test_lexvec_len_mismatch;
+          prop_lexvec_total_order;
+        ] );
+      ( "tiered",
+        [
+          Alcotest.test_case "prefers top tier" `Quick
+            test_tiered_prefers_top_tier;
+          Alcotest.test_case "bias steers ties" `Quick
+            test_tiered_bias_tier_steers_ties;
+          Alcotest.test_case "skips negative gain" `Quick
+            test_tiered_skips_negative_gain;
+          Alcotest.test_case "weight length mismatch" `Quick
+            test_tiered_weight_length_mismatch;
+          prop_tiered_matches_brute;
+          prop_tiered_certificate;
+          prop_tiered_three_tiers;
+          prop_tiered_positive_weights_max_cardinality;
+        ] );
+      ( "maxflow",
+        [
+          Alcotest.test_case "simple" `Quick test_maxflow_simple;
+          Alcotest.test_case "bottleneck" `Quick test_maxflow_bottleneck;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "min cut" `Quick test_maxflow_min_cut;
+          prop_maxflow_equals_matching;
+          prop_maxflow_grouping_invariance;
+          prop_maxflow_cut_certificate;
+        ] );
+      ( "altpath",
+        [
+          Alcotest.test_case "single augmenting" `Quick
+            test_altpath_single_augmenting;
+          Alcotest.test_case "order 2" `Quick test_altpath_order2;
+          Alcotest.test_case "cycle" `Quick test_altpath_cycle;
+          Alcotest.test_case "identical matchings" `Quick
+            test_altpath_identical_matchings;
+          prop_altpath_counts_gap;
+          prop_altpath_edges_partition_symdiff;
+          prop_altpath_two_maximum_matchings;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the offline optimum solvers: the grouped max-flow route
+   must agree with Hopcroft-Karp on the expanded graph, and the greedy
+   EDF oracle must match both on single-alternative instances. *)
+
+module Request = Sched.Request
+module Instance = Sched.Instance
+module Rng = Prelude.Rng
+
+let check = Alcotest.check
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let req ~arrival ~alts ~deadline =
+  Request.make ~arrival ~alternatives:alts ~deadline
+
+(* ------------------------------------------------------------------ *)
+(* hand instances with known optima *)
+
+let test_opt_trivial () =
+  let inst =
+    Instance.build ~n_resources:2 ~d:1
+      [
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:1;
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:1;
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:1;
+      ]
+  in
+  (* 2 resources, 1 round each: optimum 2 of 3 *)
+  check Alcotest.int "expanded" 2 (Offline.Opt.expanded inst);
+  check Alcotest.int "grouped" 2 (Offline.Opt.grouped inst)
+
+let test_opt_block_saturation () =
+  (* a block(2,d) exactly saturates its pair *)
+  let d = 4 in
+  let inst =
+    Instance.build ~n_resources:2 ~d
+      (Adversary.Block.pair ~arrival:0 ~r0:0 ~r1:1 ~d)
+  in
+  check Alcotest.int "all served" (2 * d) (Offline.Opt.value inst);
+  (* doubling the block overloads: still only 2d slots *)
+  let inst2 =
+    Instance.build ~n_resources:2 ~d
+      (Adversary.Block.pair ~arrival:0 ~r0:0 ~r1:1 ~d
+       @ Adversary.Block.pair ~arrival:0 ~r0:0 ~r1:1 ~d)
+  in
+  check Alcotest.int "capacity bound" (2 * d) (Offline.Opt.value inst2)
+
+let test_opt_ring_block () =
+  (* block(a,d) admits a perfect schedule for any ring size *)
+  List.iter
+    (fun a ->
+       let d = 3 in
+       let resources = Array.init a (fun i -> i) in
+       let inst =
+         Instance.build ~n_resources:a ~d
+           (Adversary.Block.ring ~arrival:0 ~resources ~d)
+       in
+       check Alcotest.int
+         (Printf.sprintf "ring a=%d fully servable" a)
+         (a * d) (Offline.Opt.value inst))
+    [ 2; 3; 4; 6 ]
+
+let test_opt_empty () =
+  let inst = Instance.build ~n_resources:3 ~d:2 [] in
+  check Alcotest.int "empty expanded" 0 (Offline.Opt.expanded inst);
+  check Alcotest.int "empty grouped" 0 (Offline.Opt.grouped inst)
+
+let test_opt_windows_matter () =
+  (* same resource, deadline 1: only one of two same-round requests *)
+  let inst =
+    Instance.build ~n_resources:1 ~d:2
+      [
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:1;
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:1;
+        req ~arrival:1 ~alts:[ 0 ] ~deadline:2;
+      ]
+  in
+  check Alcotest.int "windows respected" 2 (Offline.Opt.value inst)
+
+(* ------------------------------------------------------------------ *)
+(* EDF oracle *)
+
+let test_edf_oracle_simple () =
+  let inst =
+    Instance.build ~n_resources:1 ~d:3
+      [
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:1;
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:2;
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:3;
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:3;
+      ]
+  in
+  (* rounds 0,1,2 serve the three tightest; one deadline-3 request is
+     lost (only 3 slots before every window closes) *)
+  check Alcotest.int "edf oracle" 3 (Offline.Opt.single_alternative_edf inst);
+  check Alcotest.int "matches matching" (Offline.Opt.value inst)
+    (Offline.Opt.single_alternative_edf inst)
+
+let test_edf_oracle_rejects_two_alts () =
+  let inst =
+    Instance.build ~n_resources:2 ~d:1
+      [ req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:1 ]
+  in
+  match Offline.Opt.single_alternative_edf inst with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let instance_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    int_range 1 4 >>= fun d ->
+    int_range 0 35 >>= fun n_req ->
+    int_range 0 10_000 >>= fun seed ->
+    return (n, d, n_req, seed))
+
+let instance_arb ~alts_max =
+  QCheck.make
+    (QCheck.Gen.map (fun s -> (s, alts_max)) instance_gen)
+    ~print:(fun ((n, d, n_req, seed), am) ->
+        Printf.sprintf "n=%d d=%d req=%d seed=%d alts<=%d" n d n_req seed am)
+
+let build_random ((n, d, n_req, seed), alts_max) =
+  let rng = Rng.create ~seed in
+  let protos = ref [] in
+  let arrival = ref 0 in
+  for _ = 1 to n_req do
+    arrival := !arrival + Rng.int rng 2;
+    let deadline = 1 + Rng.int rng d in
+    let n_alts = 1 + Rng.int rng (min alts_max n) in
+    let all = Array.init n (fun i -> i) in
+    Rng.shuffle rng all;
+    let alts = Array.to_list (Array.sub all 0 n_alts) in
+    protos :=
+      Request.make ~arrival:!arrival ~alternatives:alts ~deadline :: !protos
+  done;
+  Instance.build ~n_resources:n ~d (List.rev !protos)
+
+let prop_grouped_equals_expanded =
+  qtest ~count:250 "grouped max-flow = Hopcroft-Karp"
+    (instance_arb ~alts_max:3) (fun spec ->
+        let inst = build_random spec in
+        Offline.Opt.grouped inst = Offline.Opt.expanded inst)
+
+let prop_edf_oracle_equals_matching =
+  qtest ~count:250 "EDF oracle = maximum matching (single alternative)"
+    (instance_arb ~alts_max:1) (fun spec ->
+        let inst = build_random spec in
+        Offline.Opt.single_alternative_edf inst = Offline.Opt.value inst)
+
+let prop_opt_monotone_in_duplication =
+  qtest ~count:100 "optimum grows (weakly) when the instance is repeated"
+    (instance_arb ~alts_max:2) (fun spec ->
+        let inst = build_random spec in
+        if Instance.n_requests inst = 0 then true
+        else begin
+          let double = Instance.concat [ inst; inst ] in
+          let o1 = Offline.Opt.value inst and o2 = Offline.Opt.value double in
+          o2 >= o1 && o2 <= 2 * o1 + Instance.n_requests inst
+        end)
+
+let prop_expanded_matching_is_valid =
+  qtest ~count:150 "expanded_matching returns a valid maximum matching"
+    (instance_arb ~alts_max:2) (fun spec ->
+        let inst = build_random spec in
+        let g, m = Offline.Opt.expanded_matching inst in
+        Graph.Matching.is_valid g m
+        && Graph.Matching.size m = Offline.Opt.grouped inst)
+
+let prop_opt_koenig_certified =
+  (* independent optimality certificate: a vertex cover of equal size
+     proves the computed optimum maximum without re-trusting the solver *)
+  qtest ~count:150 "offline optimum carries a Koenig certificate"
+    (instance_arb ~alts_max:3) (fun spec ->
+        let inst = build_random spec in
+        let g, m = Offline.Opt.expanded_matching inst in
+        Graph.Hopcroft_karp.is_koenig_certificate g m)
+
+let test_opt_adversary_certified () =
+  (* certify the optima of the adversarial instances used throughout *)
+  List.iter
+    (fun inst ->
+       let g, m = Offline.Opt.expanded_matching inst in
+       check Alcotest.bool "certificate" true
+         (Graph.Hopcroft_karp.is_koenig_certificate g m))
+    [
+      (Adversary.Thm21.make ~d:4 ~phases:3).instance;
+      (Adversary.Thm23.make ~d:4 ~phases:3).instance;
+      (Adversary.Thm24.make ~d:4 ~phases:3).instance;
+      (Adversary.Thm25.make ~d:5 ~groups:2 ~intervals:3).instance;
+    ]
+
+let () =
+  Alcotest.run "offline"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial" `Quick test_opt_trivial;
+          Alcotest.test_case "block saturation" `Quick
+            test_opt_block_saturation;
+          Alcotest.test_case "ring blocks" `Quick test_opt_ring_block;
+          Alcotest.test_case "empty" `Quick test_opt_empty;
+          Alcotest.test_case "windows matter" `Quick test_opt_windows_matter;
+          Alcotest.test_case "edf oracle" `Quick test_edf_oracle_simple;
+          Alcotest.test_case "edf oracle validation" `Quick
+            test_edf_oracle_rejects_two_alts;
+          Alcotest.test_case "adversary optima certified" `Quick
+            test_opt_adversary_certified;
+        ] );
+      ( "properties",
+        [
+          prop_grouped_equals_expanded;
+          prop_edf_oracle_equals_matching;
+          prop_opt_monotone_in_duplication;
+          prop_expanded_matching_is_valid;
+          prop_opt_koenig_certified;
+        ] );
+    ]

@@ -1,0 +1,61 @@
+(* The integration test: every reproduction experiment of DESIGN.md §3
+   runs at quick parameters and every one of its named checks must
+   pass.  This is the test-suite mirror of `dune exec bench/main.exe`. *)
+
+let experiment_case (id, f) =
+  Alcotest.test_case id `Slow (fun () ->
+      let e = f ~quick:true in
+      List.iter
+        (fun (name, ok) ->
+           Alcotest.check Alcotest.bool
+             (Printf.sprintf "[%s] %s" e.Report.Experiments.id name)
+             true ok)
+        e.Report.Experiments.checks)
+
+let test_harness_asymptotic_exact () =
+  (* the doubling-difference estimator must cancel additive terms:
+     thm 2.1 at d=3 gives exactly 5/3 per phase *)
+  let measured =
+    Report.Harness.asymptotic_ratio_exact
+      ~make:(fun phases -> Adversary.Thm21.make ~d:3 ~phases)
+      ~factory:(fun sc -> Strategies.Global.fix ~bias:sc.bias ())
+      ~k:2
+  in
+  Alcotest.check
+    (Alcotest.testable Prelude.Rat.pp Prelude.Rat.equal)
+    "5/3" (Prelude.Rat.make 5 3) measured
+
+let test_harness_opt_hint_mismatch_detected () =
+  let sc = Adversary.Thm21.make ~d:2 ~phases:1 in
+  let broken = { sc with Adversary.Scenario.opt_hint = Some 1 } in
+  match
+    Report.Harness.run_scenario broken (Strategies.Global.fix ())
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on wrong optimum hint"
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_render_contains_pass_lines () =
+  let e = Report.Experiments.t1_fix_lb ~quick:true in
+  let s = Report.Experiments.render e in
+  Alcotest.check Alcotest.bool "has PASS marker" true
+    (contains ~needle:"[PASS]" s)
+
+let () =
+  Alcotest.run "report"
+    ~and_exit:true
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "asymptotic exact" `Quick
+            test_harness_asymptotic_exact;
+          Alcotest.test_case "hint mismatch detected" `Quick
+            test_harness_opt_hint_mismatch_detected;
+          Alcotest.test_case "render" `Quick test_render_contains_pass_lines;
+        ] );
+      ("experiments", List.map experiment_case Report.Experiments.catalog);
+    ]

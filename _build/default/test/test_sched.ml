@@ -1,0 +1,467 @@
+(* Tests for the core scheduling model: requests, instances, the round
+   engine, outcomes and the paper graph. *)
+
+module Request = Sched.Request
+module Instance = Sched.Instance
+module Engine = Sched.Engine
+module Outcome = Sched.Outcome
+module Strategy = Sched.Strategy
+module Rng = Prelude.Rng
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Request *)
+
+let test_request_make () =
+  let r = Request.make ~arrival:3 ~alternatives:[ 1; 0 ] ~deadline:4 in
+  check Alcotest.int "id unset" (-1) r.Request.id;
+  check Alcotest.int "last round" 6 (Request.last_round r);
+  check Alcotest.bool "live at arrival" true (Request.is_live r ~round:3);
+  check Alcotest.bool "live at last" true (Request.is_live r ~round:6);
+  check Alcotest.bool "dead after" false (Request.is_live r ~round:7);
+  check Alcotest.bool "dead before" false (Request.is_live r ~round:2);
+  check Alcotest.bool "has alt" true (Request.has_alternative r 0);
+  check Alcotest.bool "no alt" false (Request.has_alternative r 2);
+  (* order of alternatives is preserved: first alternative is 1 *)
+  check Alcotest.int "first alternative" 1 r.Request.alternatives.(0)
+
+let test_request_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "negative arrival" (fun () ->
+      Request.make ~arrival:(-1) ~alternatives:[ 0 ] ~deadline:1);
+  expect_invalid "zero deadline" (fun () ->
+      Request.make ~arrival:0 ~alternatives:[ 0 ] ~deadline:0);
+  expect_invalid "no alternatives" (fun () ->
+      Request.make ~arrival:0 ~alternatives:[] ~deadline:1);
+  expect_invalid "duplicate alternatives" (fun () ->
+      Request.make ~arrival:0 ~alternatives:[ 1; 1 ] ~deadline:1);
+  expect_invalid "negative resource" (fun () ->
+      Request.make ~arrival:0 ~alternatives:[ -1 ] ~deadline:1)
+
+(* ------------------------------------------------------------------ *)
+(* Instance *)
+
+let req ~arrival ~alts ~deadline =
+  Request.make ~arrival ~alternatives:alts ~deadline
+
+let test_instance_build () =
+  let inst =
+    Instance.build ~n_resources:3 ~d:2
+      [
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2;
+        req ~arrival:0 ~alts:[ 1; 2 ] ~deadline:1;
+        req ~arrival:2 ~alts:[ 2; 0 ] ~deadline:2;
+      ]
+  in
+  check Alcotest.int "n requests" 3 (Instance.n_requests inst);
+  check Alcotest.int "horizon" 4 inst.Instance.horizon;
+  check Alcotest.int "ids dense" 1 inst.Instance.requests.(1).Request.id;
+  check Alcotest.int "arrivals at 0" 2
+    (Array.length (Instance.arrivals_at inst 0));
+  check Alcotest.int "arrivals at 1" 0
+    (Array.length (Instance.arrivals_at inst 1));
+  check Alcotest.int "arrivals at 2" 1
+    (Array.length (Instance.arrivals_at inst 2));
+  check Alcotest.int "arrivals out of range" 0
+    (Array.length (Instance.arrivals_at inst 99))
+
+let test_instance_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "resource out of range" (fun () ->
+      Instance.build ~n_resources:2 ~d:2
+        [ req ~arrival:0 ~alts:[ 0; 2 ] ~deadline:2 ]);
+  expect_invalid "deadline exceeds d" (fun () ->
+      Instance.build ~n_resources:2 ~d:2
+        [ req ~arrival:0 ~alts:[ 0 ] ~deadline:3 ]);
+  expect_invalid "out of arrival order" (fun () ->
+      Instance.build ~n_resources:2 ~d:2
+        [
+          req ~arrival:1 ~alts:[ 0 ] ~deadline:2;
+          req ~arrival:0 ~alts:[ 1 ] ~deadline:2;
+        ])
+
+let test_instance_slots () =
+  let inst =
+    Instance.build ~n_resources:3 ~d:2
+      [ req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2 ]
+  in
+  check Alcotest.int "total slots" 6 (Instance.total_slots inst);
+  let idx = Instance.slot_index inst ~resource:2 ~round:1 in
+  check Alcotest.(pair int int) "roundtrip" (2, 1)
+    (Instance.slot_of_index inst idx);
+  (* all slot indices are distinct *)
+  let seen = Hashtbl.create 8 in
+  for resource = 0 to 2 do
+    for round = 0 to 1 do
+      let i = Instance.slot_index inst ~resource ~round in
+      check Alcotest.bool "unique" false (Hashtbl.mem seen i);
+      Hashtbl.replace seen i ()
+    done
+  done
+
+let test_instance_restrict_alternatives () =
+  let inst =
+    Instance.build ~n_resources:4 ~d:2
+      [
+        req ~arrival:0 ~alts:[ 3; 1; 0 ] ~deadline:2;
+        req ~arrival:0 ~alts:[ 2 ] ~deadline:1;
+      ]
+  in
+  let r1 = Instance.restrict_alternatives inst ~max:2 in
+  check Alcotest.(list int) "truncated, order kept" [ 3; 1 ]
+    (Array.to_list r1.Instance.requests.(0).Request.alternatives);
+  check Alcotest.(list int) "short lists untouched" [ 2 ]
+    (Array.to_list r1.Instance.requests.(1).Request.alternatives);
+  (* optimum can only shrink when choices are removed *)
+  check Alcotest.bool "optimum monotone" true
+    (Offline.Opt.value r1 <= Offline.Opt.value inst);
+  match Instance.restrict_alternatives inst ~max:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max=0 accepted"
+
+let test_outcome_latency () =
+  let inst =
+    Instance.build ~n_resources:1 ~d:3
+      [
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:3;
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:3;
+        req ~arrival:0 ~alts:[ 0 ] ~deadline:3;
+      ]
+  in
+  let o = Engine.run inst (Strategies.Global.balance ()) in
+  check Alcotest.(list int) "latencies 0,1,2" [ 0; 1; 2 ]
+    (List.sort compare (Outcome.latencies o));
+  check (Alcotest.float 1e-9) "mean latency" 1.0 (Outcome.mean_latency o);
+  let empty = Instance.build ~n_resources:1 ~d:1 [] in
+  let oe = Engine.run empty (Strategies.Global.balance ()) in
+  check Alcotest.bool "nan when empty" true
+    (Float.is_nan (Outcome.mean_latency oe))
+
+let test_instance_concat () =
+  let part =
+    Instance.build ~n_resources:2 ~d:2
+      [
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2;
+        req ~arrival:1 ~alts:[ 1; 0 ] ~deadline:2;
+      ]
+  in
+  let whole = Instance.concat [ part; part; part ] in
+  check Alcotest.int "requests tripled" 6 (Instance.n_requests whole);
+  check Alcotest.int "horizon summed" 9 whole.Instance.horizon;
+  (* second copy shifted by the first part's horizon (3) *)
+  check Alcotest.int "shifted arrival" 3
+    whole.Instance.requests.(2).Request.arrival
+
+(* ------------------------------------------------------------------ *)
+(* Engine: protocol validation *)
+
+let one_shot_strategy serves : Strategy.factory =
+ fun ~n:_ ~d:_ ->
+  {
+    Strategy.name = "test";
+    step =
+      (fun ~round ~arrivals:_ ->
+         List.filter_map
+           (fun (at, s) -> if at = round then Some s else None)
+           serves);
+  }
+
+let simple_instance () =
+  Instance.build ~n_resources:2 ~d:2
+    [
+      req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2;
+      req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2;
+    ]
+
+let test_engine_accepts_valid () =
+  let inst = simple_instance () in
+  let o =
+    Engine.run inst
+      (one_shot_strategy
+         [
+           (0, { Strategy.request = 0; resource = 0 });
+           (1, { Strategy.request = 1; resource = 1 });
+         ])
+  in
+  check Alcotest.int "served both" 2 o.Outcome.served;
+  check Alcotest.bool "consistent" true (Outcome.is_consistent o);
+  check Alcotest.int "failed" 0 (Outcome.failed o);
+  check Alcotest.(list int) "served ids" [ 0; 1 ] (Outcome.served_ids o)
+
+let expect_protocol_error f =
+  match f () with
+  | exception Engine.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "expected Protocol_error"
+
+let test_engine_rejects_bad_resource () =
+  let inst = simple_instance () in
+  expect_protocol_error (fun () ->
+      Engine.run inst
+        (one_shot_strategy [ (0, { Strategy.request = 0; resource = 5 }) ]))
+
+let test_engine_rejects_unknown_request () =
+  let inst = simple_instance () in
+  expect_protocol_error (fun () ->
+      Engine.run inst
+        (one_shot_strategy [ (0, { Strategy.request = 9; resource = 0 }) ]))
+
+let test_engine_rejects_double_resource_use () =
+  let inst = simple_instance () in
+  expect_protocol_error (fun () ->
+      Engine.run inst
+        (one_shot_strategy
+           [
+             (0, { Strategy.request = 0; resource = 0 });
+             (0, { Strategy.request = 1; resource = 0 });
+           ]))
+
+let test_engine_rejects_expired () =
+  (* request 0 has window {round 0} only; request 1 extends the horizon
+     so the engine actually reaches round 1 *)
+  let inst2 =
+    Instance.build ~n_resources:2 ~d:2
+      [
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:1;
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2;
+      ]
+  in
+  expect_protocol_error (fun () ->
+      Engine.run inst2
+        (one_shot_strategy [ (1, { Strategy.request = 0; resource = 0 }) ]))
+
+let test_engine_wasted_duplicates () =
+  let inst = simple_instance () in
+  let o =
+    Engine.run inst
+      (one_shot_strategy
+         [
+           (0, { Strategy.request = 0; resource = 0 });
+           (1, { Strategy.request = 0; resource = 1 });
+         ])
+  in
+  check Alcotest.int "served once" 1 o.Outcome.served;
+  check Alcotest.int "wasted" 1 o.Outcome.wasted
+
+let test_engine_not_alternative () =
+  let inst2 =
+    Instance.build ~n_resources:3 ~d:2
+      [ req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2 ]
+  in
+  expect_protocol_error (fun () ->
+      Engine.run inst2
+        (one_shot_strategy [ (0, { Strategy.request = 0; resource = 2 }) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: adaptive mode *)
+
+let test_engine_adaptive_ids_and_instance () =
+  (* the adversary emits one request per round; ids must mirror the
+     engine's numbering, and the realised instance must match *)
+  let emitted = ref [] in
+  let adversary ~round ~is_served =
+    (* ids are assigned in emission order, so request [round - 1]
+       arrived last round *)
+    if round > 0 then
+      emitted := (round - 1, is_served (round - 1)) :: !emitted;
+    [ Request.make ~arrival:round ~alternatives:[ 0; 1 ] ~deadline:2 ]
+  in
+  let greedy : Strategy.factory =
+   fun ~n:_ ~d:_ ->
+    let pending = ref [] in
+    {
+      Strategy.name = "greedy0";
+      step =
+        (fun ~round ~arrivals ->
+           pending := !pending @ Array.to_list arrivals;
+           match !pending with
+           | r :: rest when Request.is_live r ~round ->
+             pending := rest;
+             [ { Strategy.request = r.Request.id; resource = 0 } ]
+           | _ -> []);
+    }
+  in
+  let o =
+    Engine.run_adaptive ~n:2 ~d:2 ~last_arrival_round:5 ~adversary greedy
+  in
+  check Alcotest.int "six requests realised" 6
+    (Instance.n_requests o.Outcome.instance);
+  (* every previous round's request had been served when queried *)
+  List.iter
+    (fun (_, was_served) ->
+       check Alcotest.bool "adversary observed service" true was_served)
+    !emitted;
+  check Alcotest.bool "outcome consistent" true (Outcome.is_consistent o)
+
+let test_engine_adaptive_rejects_wrong_arrival () =
+  let adversary ~round ~is_served:_ =
+    [ Request.make ~arrival:(round + 1) ~alternatives:[ 0 ] ~deadline:1 ]
+  in
+  match
+    Engine.run_adaptive ~n:1 ~d:1 ~last_arrival_round:1 ~adversary
+      (one_shot_strategy [])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Outcome / Paper_graph *)
+
+let test_paper_graph_shape () =
+  let inst =
+    Instance.build ~n_resources:3 ~d:2
+      [
+        req ~arrival:0 ~alts:[ 0; 1 ] ~deadline:2;
+        req ~arrival:1 ~alts:[ 2 ] ~deadline:1;
+      ]
+  in
+  let g = Sched.Paper_graph.of_instance inst in
+  (* request 0: 2 alternatives x 2 rounds; request 1: 1 x 1 *)
+  check Alcotest.int "edges" 5 (Graph.Bipartite.n_edges g);
+  check Alcotest.int "left = requests" 2 (Graph.Bipartite.n_left g);
+  check Alcotest.int "right = slots" (Instance.total_slots inst)
+    (Graph.Bipartite.n_right g);
+  (match Sched.Paper_graph.edge_for g inst ~request:0 ~resource:1 ~round:1 with
+   | Some _ -> ()
+   | None -> Alcotest.fail "edge should exist");
+  (match Sched.Paper_graph.edge_for g inst ~request:1 ~resource:2 ~round:0 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "edge outside window")
+
+let test_outcome_to_matching () =
+  let inst = simple_instance () in
+  let o =
+    Engine.run inst
+      (one_shot_strategy
+         [
+           (0, { Strategy.request = 0; resource = 0 });
+           (0, { Strategy.request = 1; resource = 1 });
+         ])
+  in
+  let g, m = Outcome.to_matching o in
+  check Alcotest.bool "valid matching" true (Graph.Matching.is_valid g m);
+  check Alcotest.int "two edges" 2 (Graph.Matching.size m)
+
+(* ------------------------------------------------------------------ *)
+(* properties: random instances, random greedy strategies *)
+
+let instance_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    int_range 1 4 >>= fun d ->
+    int_range 0 40 >>= fun n_req ->
+    int_range 0 1000 >>= fun seed ->
+    return (n, d, n_req, seed))
+
+let build_random (n, d, n_req, seed) =
+  let rng = Rng.create ~seed in
+  let protos = ref [] in
+  let arrival = ref 0 in
+  for _ = 1 to n_req do
+    arrival := !arrival + Rng.int rng 2;
+    let deadline = 1 + Rng.int rng d in
+    let a = Rng.int rng n in
+    let alts =
+      if n > 1 && Rng.bool rng then [ a; (a + 1 + Rng.int rng (n - 1)) mod n ]
+      else [ a ]
+    in
+    protos :=
+      Request.make ~arrival:!arrival ~alternatives:alts ~deadline :: !protos
+  done;
+  Instance.build ~n_resources:n ~d (List.rev !protos)
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun (n, d, n_req, seed) ->
+      Printf.sprintf "n=%d d=%d req=%d seed=%d" n d n_req seed)
+
+let prop_engine_consistency_all_strategies =
+  qtest ~count:60 "engine outcomes are always consistent" instance_arb
+    (fun spec ->
+       let inst = build_random spec in
+       List.for_all
+         (fun factory ->
+            let o = Engine.run inst factory in
+            Outcome.is_consistent o)
+         [
+           Strategies.Global.fix ();
+           Strategies.Global.current ();
+           Strategies.Global.eager ();
+           Strategies.Global.balance ();
+           Strategies.Edf.independent ();
+         ])
+
+let prop_served_never_exceeds_opt =
+  qtest ~count:60 "no strategy ever beats the offline optimum" instance_arb
+    (fun spec ->
+       let inst = build_random spec in
+       let opt = Offline.Opt.value inst in
+       List.for_all
+         (fun factory -> (Engine.run inst factory).Outcome.served <= opt)
+         [
+           Strategies.Global.fix ();
+           Strategies.Global.balance ();
+           Strategies.Edf.independent ();
+           Localstrat.Local.eager ();
+         ])
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "request",
+        [
+          Alcotest.test_case "make" `Quick test_request_make;
+          Alcotest.test_case "validation" `Quick test_request_validation;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "build" `Quick test_instance_build;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "slots" `Quick test_instance_slots;
+          Alcotest.test_case "concat" `Quick test_instance_concat;
+          Alcotest.test_case "restrict alternatives" `Quick
+            test_instance_restrict_alternatives;
+          Alcotest.test_case "latency" `Quick test_outcome_latency;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_engine_accepts_valid;
+          Alcotest.test_case "rejects bad resource" `Quick
+            test_engine_rejects_bad_resource;
+          Alcotest.test_case "rejects unknown request" `Quick
+            test_engine_rejects_unknown_request;
+          Alcotest.test_case "rejects double use" `Quick
+            test_engine_rejects_double_resource_use;
+          Alcotest.test_case "rejects expired" `Quick test_engine_rejects_expired;
+          Alcotest.test_case "counts duplicates as waste" `Quick
+            test_engine_wasted_duplicates;
+          Alcotest.test_case "rejects non-alternative" `Quick
+            test_engine_not_alternative;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "ids and instance" `Quick
+            test_engine_adaptive_ids_and_instance;
+          Alcotest.test_case "rejects wrong arrival" `Quick
+            test_engine_adaptive_rejects_wrong_arrival;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "paper graph shape" `Quick test_paper_graph_shape;
+          Alcotest.test_case "to_matching" `Quick test_outcome_to_matching;
+        ] );
+      ( "properties",
+        [
+          prop_engine_consistency_all_strategies;
+          prop_served_never_exceeds_opt;
+        ] );
+    ]

@@ -102,6 +102,18 @@ let micro_tests () =
            ignore
              (Analysis.Hall.opt_upper_bound (Lazy.force random_instance)
                : int)));
+    (* the streaming OPT-prefix tracker vs its from-scratch baseline *)
+    Test.make ~name:"OPT.stream/prefix-curve"
+      (Staged.stage (fun () ->
+           ignore
+             (Offline.Opt_stream.prefix_curve (Lazy.force random_instance)
+               : int array)));
+    Test.make ~name:"OPT.stream/naive-prefix-curve"
+      (Staged.stage (fun () ->
+           ignore
+             (Offline.Opt_stream.naive_prefix_curve
+                (Lazy.force random_instance)
+               : int array)));
   ]
 
 (* A direct scaling table: microseconds per engine round as the system
@@ -149,6 +161,60 @@ let run_scale ~quick =
     shapes;
   Prelude.Texttable.print table;
   print_newline ()
+
+(* The anytime-monitoring cost model: the whole per-round OPT prefix
+   curve by the incremental tracker vs one full Hopcroft-Karp solve per
+   prefix, on long workloads (the streaming regime the tracker exists
+   for).  The two curves are also compared element-wise: a mismatch is a
+   correctness bug, not a benchmark artifact. *)
+let run_stream ~quick =
+  let shapes =
+    if quick then [ (8, 4, 200) ] else [ (8, 4, 200); (8, 6, 400); (16, 4, 300) ]
+  in
+  let table =
+    Prelude.Texttable.create
+      ~title:
+        "B.stream  --  per-round OPT prefix curve: incremental tracker vs \
+         naive per-round recompute (random load 1.1)"
+      ~header:
+        [ "n"; "d"; "horizon"; "requests"; "stream ms"; "naive ms";
+          "speedup"; "curves agree" ]
+      ()
+  in
+  let min_speedup = ref infinity in
+  List.iter
+    (fun (n, d, rounds) ->
+       let rng = Prelude.Rng.create ~seed:33 in
+       let inst =
+         Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load:1.1 ()
+       in
+       let time f =
+         let t0 = Unix.gettimeofday () in
+         let r = f () in
+         (r, (Unix.gettimeofday () -. t0) *. 1e3)
+       in
+       let stream_curve, stream_ms =
+         time (fun () -> Offline.Opt_stream.prefix_curve inst)
+       in
+       let naive_curve, naive_ms =
+         time (fun () -> Offline.Opt_stream.naive_prefix_curve inst)
+       in
+       let speedup = naive_ms /. stream_ms in
+       if speedup < !min_speedup then min_speedup := speedup;
+       Prelude.Texttable.add_row table
+         [
+           string_of_int n;
+           string_of_int d;
+           string_of_int rounds;
+           string_of_int (Sched.Instance.n_requests inst);
+           Printf.sprintf "%.2f" stream_ms;
+           Printf.sprintf "%.2f" naive_ms;
+           Printf.sprintf "%.1fx" speedup;
+           string_of_bool (stream_curve = naive_curve);
+         ])
+    shapes;
+  Prelude.Texttable.print table;
+  Printf.printf "check: streaming >= 5x faster: %b\n\n%!" (!min_speedup >= 5.0)
 
 let run_micro () =
   let tests = Test.make_grouped ~name:"reqsched" (micro_tests ()) in
@@ -201,7 +267,8 @@ let () =
     (if quick then "quick" else "full");
   if not (flag "--no-micro") then begin
     run_micro ();
-    run_scale ~quick
+    run_scale ~quick;
+    run_stream ~quick
   end;
   let catalog =
     match only_filter () with

@@ -14,6 +14,24 @@ let of_outcome_with_opt (o : Sched.Outcome.t) ~opt =
 let of_outcome o =
   of_outcome_with_opt o ~opt:(Offline.Opt.value o.Sched.Outcome.instance)
 
+let anytime_curve (o : Sched.Outcome.t) =
+  let inst = o.Sched.Outcome.instance in
+  let opt_curve = Offline.Opt_stream.prefix_curve inst in
+  let arrived = ref 0 and alg = ref 0 in
+  Array.mapi
+    (fun round opt ->
+       arrived := !arrived + Array.length (Sched.Instance.arrivals_at inst round);
+       alg := !alg + o.Sched.Outcome.per_round_served.(round);
+       {
+         opt;
+         alg = !alg;
+         total = !arrived;
+         ratio =
+           (if opt = 0 && !alg = 0 then nan
+            else float_of_int opt /. float_of_int !alg);
+       })
+    opt_curve
+
 let exact t = Prelude.Rat.make t.opt t.alg
 
 let pp fmt t =

@@ -1,0 +1,133 @@
+module Ivec = Prelude.Ivec
+
+(* Incremental maximum matching on a growing bipartite graph.
+
+   The structure shadows the partner maps of {!Matching} in capacity
+   arrays so the graph can keep growing underneath it, and restores
+   maximality after a batch of appends by Kuhn-style augmenting-path
+   searches rooted at the freshly added free right vertices.
+
+   Why roots on the right suffice: every augmenting path in a bipartite
+   graph has exactly one free endpoint on each side.  If the matching was
+   maximum before the appends and every new edge is incident to a new
+   right vertex (the paper-graph streaming discipline: a round's slots
+   arrive together with all edges into them), then any augmenting path
+   must use a new edge, whose new right endpoint is free and therefore an
+   endpoint of the path.  Old free right vertices stay dead: an
+   augmenting path rooted at one would have its single right endpoint
+   there, so it could not absorb any new edge (new edges end at *free*
+   right vertices, which cannot be interior), hence it would have existed
+   before the append — contradiction.  Augmentations never revive dead
+   roots (the classical non-revival lemma), so one search per new right
+   vertex, ever, keeps the matching maximum. *)
+
+type t = {
+  g : Bipartite.t;
+  mutable left_to : int array; (* capacity >= n_left g; -1 = free *)
+  mutable right_to : int array; (* capacity >= n_right g; -1 = free *)
+  mutable left_edge : int array; (* capacity >= n_left g; -1 = free *)
+  mutable stamp : int array; (* per left vertex, DFS visit clock *)
+  mutable clock : int;
+  mutable size : int;
+}
+
+let grow a n ~fill =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n (2 * cap)) fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let sync t =
+  let nl = Bipartite.n_left t.g and nr = Bipartite.n_right t.g in
+  t.left_to <- grow t.left_to nl ~fill:(-1);
+  t.left_edge <- grow t.left_edge nl ~fill:(-1);
+  t.stamp <- grow t.stamp nl ~fill:0;
+  t.right_to <- grow t.right_to nr ~fill:(-1)
+
+let create g =
+  let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+  let t =
+    {
+      g;
+      left_to = Array.make (max nl 1) (-1);
+      right_to = Array.make (max nr 1) (-1);
+      left_edge = Array.make (max nl 1) (-1);
+      stamp = Array.make (max nl 1) 0;
+      clock = 0;
+      size = 0;
+    }
+  in
+  if Bipartite.n_edges g > 0 then begin
+    (* a pre-populated graph needs a full solve once; afterwards the
+       incremental invariant carries the maximality forward *)
+    let m = Hopcroft_karp.solve_from g (Matching.greedy_maximal g) in
+    Array.blit m.Matching.left_to 0 t.left_to 0 nl;
+    Array.blit m.Matching.left_edge 0 t.left_edge 0 nl;
+    Array.blit m.Matching.right_to 0 t.right_to 0 nr;
+    t.size <- Matching.size m
+  end;
+  t
+
+let graph t = t.g
+let size t = t.size
+
+(* DFS from a right vertex looking for a free left vertex along an
+   alternating path; flips the path in place on success. *)
+let rec search t r =
+  let adj = Bipartite.adj_right t.g r in
+  let n = Ivec.length adj in
+  let rec try_edge i =
+    if i >= n then false
+    else begin
+      let id = Ivec.get adj i in
+      let u = Bipartite.edge_left t.g id in
+      if t.stamp.(u) = t.clock then try_edge (i + 1)
+      else begin
+        t.stamp.(u) <- t.clock;
+        let r' = t.left_to.(u) in
+        if r' < 0 || search t r' then begin
+          (* if u was matched, the recursive call found r' a new partner
+             already, so stealing u is safe *)
+          t.left_to.(u) <- r;
+          t.right_to.(r) <- u;
+          t.left_edge.(u) <- id;
+          true
+        end
+        else try_edge (i + 1)
+      end
+    end
+  in
+  try_edge 0
+
+let augment_from_right t r =
+  sync t;
+  if r < 0 || r >= Bipartite.n_right t.g then
+    invalid_arg "Augment.augment_from_right: right vertex out of range";
+  if t.right_to.(r) >= 0 then false
+  else begin
+    t.clock <- t.clock + 1;
+    let grew = search t r in
+    if grew then t.size <- t.size + 1;
+    grew
+  end
+
+let augment_new_rights t ~first =
+  sync t;
+  if first < 0 then invalid_arg "Augment.augment_new_rights: negative first";
+  let gained = ref 0 in
+  for r = first to Bipartite.n_right t.g - 1 do
+    if augment_from_right t r then incr gained
+  done;
+  !gained
+
+let matching t =
+  sync t;
+  let nl = Bipartite.n_left t.g and nr = Bipartite.n_right t.g in
+  {
+    Matching.left_to = Array.sub t.left_to 0 nl;
+    right_to = Array.sub t.right_to 0 nr;
+    left_edge = Array.sub t.left_edge 0 nl;
+  }

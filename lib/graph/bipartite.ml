@@ -1,12 +1,16 @@
 module Ivec = Prelude.Ivec
 
+(* [adj_l]/[adj_r] are capacity arrays: indices [>= n_left]/[>= n_right]
+   are pre-allocated empty adjacency vectors waiting for
+   [add_left_vertex]/[add_right_vertex].  Growth doubles the capacity so
+   streaming construction stays amortised O(1) per vertex. *)
 type t = {
-  n_left : int;
-  n_right : int;
+  mutable n_left : int;
+  mutable n_right : int;
   mutable srcs : Ivec.t; (* edge id -> left endpoint *)
   mutable dsts : Ivec.t; (* edge id -> right endpoint *)
-  adj_l : Ivec.t array;
-  adj_r : Ivec.t array;
+  mutable adj_l : Ivec.t array;
+  mutable adj_r : Ivec.t array;
 }
 
 let create ~n_left ~n_right =
@@ -24,6 +28,29 @@ let create ~n_left ~n_right =
 let n_left t = t.n_left
 let n_right t = t.n_right
 let n_edges t = Ivec.length t.srcs
+
+let grow_capacity arr used =
+  let cap = Array.length arr in
+  if used < cap then arr
+  else begin
+    let arr' =
+      Array.init (max 4 (2 * cap)) (fun i ->
+          if i < cap then arr.(i) else Ivec.create ~capacity:4 ())
+    in
+    arr'
+  end
+
+let add_left_vertex t =
+  t.adj_l <- grow_capacity t.adj_l t.n_left;
+  let v = t.n_left in
+  t.n_left <- v + 1;
+  v
+
+let add_right_vertex t =
+  t.adj_r <- grow_capacity t.adj_r t.n_right;
+  let v = t.n_right in
+  t.n_right <- v + 1;
+  v
 
 let add_edge t ~left ~right =
   if left < 0 || left >= t.n_left then

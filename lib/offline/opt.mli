@@ -12,6 +12,10 @@
       whose [block(a,d)] structures contain huge identical groups.
     - {!value}: the default entry point (currently {!grouped}).
 
+    For the per-round OPT {e prefix curve} of a long or streaming
+    workload, use {!Opt_stream} — one incremental pass instead of
+    [horizon] full recomputes.
+
     {!single_alternative_edf} solves the restricted one-alternative model
     greedily, giving an independent oracle for Observation 3.1 tests. *)
 

@@ -16,6 +16,43 @@ let run_instance inst factory =
        else float_of_int opt /. float_of_int outcome.Sched.Outcome.served);
   }
 
+type anytime = {
+  run : run;
+  opt_curve : int array;
+  alg_curve : int array;
+  ratio_curve : float array;
+}
+
+let run_instance_anytime inst factory =
+  let outcome = Sched.Engine.run inst factory in
+  let opt_curve = Offline.Opt_stream.prefix_curve inst in
+  let alg_curve =
+    let acc = ref 0 in
+    Array.map
+      (fun served ->
+         acc := !acc + served;
+         !acc)
+      outcome.Sched.Outcome.per_round_served
+  in
+  let ratio ~opt ~alg =
+    if alg = 0 then if opt = 0 then 1.0 else infinity
+    else float_of_int opt /. float_of_int alg
+  in
+  let horizon = Array.length opt_curve in
+  let opt = if horizon = 0 then 0 else opt_curve.(horizon - 1) in
+  {
+    run =
+      {
+        outcome;
+        opt;
+        ratio = ratio ~opt ~alg:outcome.Sched.Outcome.served;
+      };
+    opt_curve;
+    alg_curve;
+    ratio_curve =
+      Array.mapi (fun r opt -> ratio ~opt ~alg:alg_curve.(r)) opt_curve;
+  }
+
 let run_scenario (sc : Adversary.Scenario.t) factory =
   let r = run_instance sc.Adversary.Scenario.instance factory in
   (match sc.Adversary.Scenario.opt_hint with

@@ -14,6 +14,23 @@ val run_scenario : Adversary.Scenario.t -> Sched.Strategy.factory -> run
 
 val run_instance : Sched.Instance.t -> Sched.Strategy.factory -> run
 
+type anytime = {
+  run : run;
+  opt_curve : int array;   (** streaming OPT prefix per round *)
+  alg_curve : int array;   (** cumulative requests served per round *)
+  ratio_curve : float array;
+      (** [opt_curve.(r) / alg_curve.(r)]; [1.0] when both are zero,
+          [infinity] when only the algorithm is at zero *)
+}
+
+val run_instance_anytime :
+  Sched.Instance.t -> Sched.Strategy.factory -> anytime
+(** Like {!run_instance} but with anytime competitive monitoring: the
+    final optimum and the whole per-round curve come from one streaming
+    pass ({!Offline.Opt_stream.prefix_curve}) instead of per-round full
+    recomputes, so long workloads can be monitored at every round for
+    roughly the cost of the final solve. *)
+
 val asymptotic_ratio :
   make:(int -> Adversary.Scenario.t) ->
   factory:(Adversary.Scenario.t -> Sched.Strategy.factory) ->

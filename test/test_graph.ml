@@ -573,6 +573,117 @@ let prop_altpath_edges_partition_symdiff =
             end);
         Hashtbl.length covered = !expected)
 
+(* ------------------------------------------------------------------ *)
+(* growing graphs and incremental augmentation *)
+
+let test_bipartite_append_vertices () =
+  let g = Bipartite.create ~n_left:0 ~n_right:0 in
+  check Alcotest.int "first left" 0 (Bipartite.add_left_vertex g);
+  check Alcotest.int "first right" 0 (Bipartite.add_right_vertex g);
+  check Alcotest.int "second left" 1 (Bipartite.add_left_vertex g);
+  let id = Bipartite.add_edge g ~left:1 ~right:0 in
+  check Alcotest.int "edge endpoints" 1 (Bipartite.edge_left g id);
+  check Alcotest.int "degree after append" 1 (Bipartite.degree_right g 0);
+  (* old ids survive growth *)
+  for _ = 1 to 100 do ignore (Bipartite.add_right_vertex g : int) done;
+  check Alcotest.int "edge survives growth" 0 (Bipartite.edge_right g id);
+  check Alcotest.int "n_right" 101 (Bipartite.n_right g);
+  check Alcotest.bool "appended vertex isolated" true
+    (Bipartite.degree_right g 100 = 0)
+
+let test_matching_extend () =
+  let g = Bipartite.create ~n_left:1 ~n_right:1 in
+  let id = Bipartite.add_edge g ~left:0 ~right:0 in
+  let m = Matching.empty g in
+  Matching.use_edge g m id;
+  ignore (Bipartite.add_left_vertex g : int);
+  ignore (Bipartite.add_right_vertex g : int);
+  let m' = Matching.extend g m in
+  check Alcotest.bool "still valid" true (Matching.is_valid g m');
+  check Alcotest.int "size preserved" 1 (Matching.size m');
+  check Alcotest.bool "new left free" false (Matching.is_matched_left m' 1);
+  check Alcotest.bool "new right free" false (Matching.is_matched_right m' 1);
+  (* shrinking is rejected *)
+  let small = Bipartite.create ~n_left:0 ~n_right:0 in
+  (match Matching.extend small m with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_augment_from_scratch () =
+  (* empty graph, grown column by column like the paper-graph stream *)
+  let g = Bipartite.create ~n_left:0 ~n_right:0 in
+  let a = Graph.Augment.create g in
+  check Alcotest.int "empty" 0 (Graph.Augment.size a);
+  let u0 = Bipartite.add_left_vertex g and u1 = Bipartite.add_left_vertex g in
+  let r0 = Bipartite.add_right_vertex g in
+  ignore (Bipartite.add_edge g ~left:u0 ~right:r0);
+  ignore (Bipartite.add_edge g ~left:u1 ~right:r0);
+  check Alcotest.int "one slot" 1 (Graph.Augment.augment_new_rights a ~first:r0);
+  check Alcotest.int "size 1" 1 (Graph.Augment.size a);
+  (* the second column forces a rerouting augmentation *)
+  let r1 = Bipartite.add_right_vertex g in
+  ignore (Bipartite.add_edge g ~left:u0 ~right:r1);
+  check Alcotest.int "reroute" 1 (Graph.Augment.augment_new_rights a ~first:r1);
+  check Alcotest.int "size 2" 2 (Graph.Augment.size a);
+  let m = Graph.Augment.matching a in
+  check Alcotest.bool "valid" true (Matching.is_valid g m);
+  check Alcotest.bool "certified" true (Hopcroft_karp.is_koenig_certificate g m)
+
+let test_augment_on_populated_graph () =
+  let g = build (3, 3, [ (0, 0); (1, 0); (1, 1); (2, 2) ]) in
+  let a = Graph.Augment.create g in
+  check Alcotest.int "initial solve" (Hopcroft_karp.max_matching_size g)
+    (Graph.Augment.size a);
+  check Alcotest.bool "matched right is a no-op" false
+    (Graph.Augment.augment_from_right a 0);
+  (match Graph.Augment.augment_from_right a 99 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument")
+
+(* Random growth scripts obeying the append discipline: each step adds
+   some vertices and only edges incident to the step's new right
+   vertices.  After every commit the incremental size must equal a
+   from-scratch Hopcroft-Karp solve (itself pinned to Brute above). *)
+let growth_arb =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 1 6 >>= fun steps ->
+      int_range 0 10_000 >>= fun seed -> return (steps, seed))
+    ~print:(fun (steps, seed) -> Printf.sprintf "steps=%d seed=%d" steps seed)
+
+let prop_augment_tracks_hopcroft_karp =
+  qtest ~count:300 "incremental augmentation = from-scratch Hopcroft-Karp"
+    growth_arb
+    (fun (steps, seed) ->
+       let rng = Rng.create ~seed in
+       let g = Bipartite.create ~n_left:0 ~n_right:0 in
+       let a = Graph.Augment.create g in
+       let ok = ref true in
+       for _ = 1 to steps do
+         for _ = 1 to Rng.int rng 3 do
+           ignore (Bipartite.add_left_vertex g : int)
+         done;
+         let first = Bipartite.n_right g in
+         for _ = 1 to 1 + Rng.int rng 3 do
+           ignore (Bipartite.add_right_vertex g : int)
+         done;
+         let nl = Bipartite.n_left g and nr = Bipartite.n_right g in
+         if nl > 0 then
+           for _ = 1 to Rng.int rng 5 do
+             ignore
+               (Bipartite.add_edge g ~left:(Rng.int rng nl)
+                  ~right:(first + Rng.int rng (nr - first)))
+           done;
+         ignore (Graph.Augment.augment_new_rights a ~first : int);
+         let m = Graph.Augment.matching a in
+         if
+           Graph.Augment.size a <> Hopcroft_karp.max_matching_size g
+           || not (Matching.is_valid g m)
+           || Matching.size m <> Graph.Augment.size a
+         then ok := false
+       done;
+       !ok)
+
 let () =
   Alcotest.run "graph"
     [
@@ -581,6 +692,16 @@ let () =
           Alcotest.test_case "basics" `Quick test_bipartite_basics;
           Alcotest.test_case "bounds" `Quick test_bipartite_bounds;
           Alcotest.test_case "iter_edges" `Quick test_bipartite_iter_edges;
+          Alcotest.test_case "append vertices" `Quick
+            test_bipartite_append_vertices;
+        ] );
+      ( "augment",
+        [
+          Alcotest.test_case "matching extend" `Quick test_matching_extend;
+          Alcotest.test_case "from scratch" `Quick test_augment_from_scratch;
+          Alcotest.test_case "populated graph" `Quick
+            test_augment_on_populated_graph;
+          prop_augment_tracks_hopcroft_karp;
         ] );
       ( "matching",
         [

@@ -178,6 +178,153 @@ let prop_opt_koenig_certified =
         let g, m = Offline.Opt.expanded_matching inst in
         Graph.Hopcroft_karp.is_koenig_certificate g m)
 
+(* ------------------------------------------------------------------ *)
+(* streaming optimum: differential tests against the exact solvers *)
+
+(* curve sanity shared by every streaming test: monotone, per-round
+   increments within the slot capacity, final value = the full optimum *)
+let curve_well_formed inst curve =
+  let n = inst.Instance.n_resources in
+  let h = inst.Instance.horizon in
+  Array.length curve = h
+  && (h = 0 || curve.(h - 1) = Offline.Opt.expanded inst)
+  && begin
+    let ok = ref true in
+    Array.iteri
+      (fun r v ->
+         let prev = if r = 0 then 0 else curve.(r - 1) in
+         if v < prev || v - prev > n then ok := false)
+      curve;
+    !ok
+  end
+
+let prop_stream_equals_exact_solvers =
+  qtest ~count:300 "Opt_stream = expanded = grouped (random instances)"
+    (instance_arb ~alts_max:3) (fun spec ->
+        let inst = build_random spec in
+        let s = Offline.Opt_stream.value inst in
+        s = Offline.Opt.expanded inst && s = Offline.Opt.grouped inst)
+
+let workload_arb =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 1 6 >>= fun n ->
+      int_range 1 4 >>= fun d ->
+      int_range 1 25 >>= fun rounds ->
+      int_range 0 10_000 >>= fun seed -> return (n, d, rounds, seed))
+    ~print:(fun (n, d, rounds, seed) ->
+        Printf.sprintf "n=%d d=%d rounds=%d seed=%d" n d rounds seed)
+
+let build_workload (n, d, rounds, seed) =
+  let rng = Rng.create ~seed in
+  Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load:1.2
+    ~alternatives:(1 + (seed mod min 2 n))
+    ()
+
+let prop_stream_curve_on_workloads =
+  qtest ~count:250 "Opt_stream prefix curve = naive recompute (workloads)"
+    workload_arb (fun spec ->
+        let inst = build_workload spec in
+        let curve = Offline.Opt_stream.prefix_curve inst in
+        curve = Offline.Opt_stream.naive_prefix_curve inst
+        && curve_well_formed inst curve)
+
+let test_stream_theorem_adversaries () =
+  (* the fixed-instance theorem adversaries at small parameters, plus
+     the adaptive Thm 2.6 instance realised against a real strategy *)
+  let fixed =
+    [
+      ("thm2.1", (Adversary.Thm21.make ~d:3 ~phases:2).instance);
+      ("thm2.2", (Adversary.Thm22.make ~ell:3 ~d:2 ~phases:2).instance);
+      ("thm2.3", (Adversary.Thm23.make ~d:4 ~phases:2).instance);
+      ("thm2.4", (Adversary.Thm24.make ~d:4 ~phases:2).instance);
+      ("thm2.5", (Adversary.Thm25.make ~d:5 ~groups:2 ~intervals:2).instance);
+      ("thm3.7", (fst (Adversary.Thm37.make ~d:2 ~intervals:2)).instance);
+    ]
+  in
+  let adaptive =
+    let adv = Adversary.Thm26.create ~d:3 ~phases:2 in
+    let o =
+      Sched.Engine.run_adaptive ~n:Adversary.Thm26.n_resources ~d:3
+        ~last_arrival_round:(Adversary.Thm26.last_arrival_round ~d:3 ~phases:2)
+        ~adversary:(Adversary.Thm26.adversary adv)
+        (Strategies.Global.eager ())
+    in
+    ("thm2.6 (adaptive)", o.Sched.Outcome.instance)
+  in
+  List.iter
+    (fun (name, inst) ->
+       let expanded = Offline.Opt.expanded inst in
+       check Alcotest.int (name ^ ": stream = expanded") expanded
+         (Offline.Opt_stream.value inst);
+       check Alcotest.int (name ^ ": grouped = expanded") expanded
+         (Offline.Opt.grouped inst);
+       let curve = Offline.Opt_stream.prefix_curve inst in
+       check Alcotest.bool (name ^ ": curve well-formed") true
+         (curve_well_formed inst curve);
+       check Alcotest.bool (name ^ ": curve = naive") true
+         (curve = Offline.Opt_stream.naive_prefix_curve inst))
+    (adaptive :: fixed)
+
+let test_stream_incremental_api () =
+  (* feeding by hand matches of_instance, and opt/rounds/curve agree *)
+  let inst = build_workload (3, 3, 12, 77) in
+  let t = Offline.Opt_stream.create ~n_resources:3 in
+  check Alcotest.int "opt before any round" 0 (Offline.Opt_stream.opt t);
+  for round = 0 to inst.Instance.horizon - 1 do
+    let v = Offline.Opt_stream.feed t (Instance.arrivals_at inst round) in
+    check Alcotest.int "feed returns running opt" (Offline.Opt_stream.opt t) v
+  done;
+  check Alcotest.int "rounds fed" inst.Instance.horizon
+    (Offline.Opt_stream.rounds t);
+  check Alcotest.(array int) "curve matches one-shot"
+    (Offline.Opt_stream.prefix_curve inst)
+    (Offline.Opt_stream.curve t);
+  (* mistimed arrival is rejected *)
+  match
+    Offline.Opt_stream.feed t
+      [| Sched.Request.make ~arrival:0 ~alternatives:[ 0 ] ~deadline:1 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* König certification of the incremental matching at cut rounds: the
+   tracker's matching must be maximum at every prefix, not just at the
+   horizon, and the cover gives a solver-independent certificate *)
+let certify_at_cuts inst =
+  let h = inst.Instance.horizon in
+  let cuts =
+    List.sort_uniq compare
+      (List.filter (fun c -> c > 0) [ 1; h / 4; h / 2; (3 * h) / 4; h ])
+  in
+  List.for_all
+    (fun cut ->
+       let t = Offline.Opt_stream.create ~n_resources:inst.Instance.n_resources in
+       for round = 0 to cut - 1 do
+         ignore (Offline.Opt_stream.feed t (Instance.arrivals_at inst round) : int)
+       done;
+       let g = Offline.Opt_stream.graph t in
+       let m = Offline.Opt_stream.matching t in
+       Graph.Hopcroft_karp.is_koenig_certificate g m
+       && List.length (fst (Graph.Hopcroft_karp.min_vertex_cover g m))
+          + List.length (snd (Graph.Hopcroft_karp.min_vertex_cover g m))
+          = Offline.Opt_stream.opt t)
+    cuts
+
+let test_stream_koenig_at_cut_rounds () =
+  List.iter
+    (fun inst ->
+       check Alcotest.bool "certified at every cut" true (certify_at_cuts inst))
+    [
+      (Adversary.Thm21.make ~d:4 ~phases:3).instance;
+      (Adversary.Thm23.make ~d:4 ~phases:2).instance;
+      build_workload (4, 3, 20, 5);
+    ]
+
+let prop_stream_koenig_at_random_cuts =
+  qtest ~count:100 "incremental matching Koenig-certified at cut rounds"
+    workload_arb (fun spec -> certify_at_cuts (build_workload spec))
+
 let test_opt_adversary_certified () =
   (* certify the optima of the adversarial instances used throughout *)
   List.iter
@@ -216,5 +363,17 @@ let () =
           prop_opt_monotone_in_duplication;
           prop_expanded_matching_is_valid;
           prop_opt_koenig_certified;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "theorem adversaries" `Quick
+            test_stream_theorem_adversaries;
+          Alcotest.test_case "incremental api" `Quick
+            test_stream_incremental_api;
+          Alcotest.test_case "koenig at cut rounds" `Quick
+            test_stream_koenig_at_cut_rounds;
+          prop_stream_equals_exact_solvers;
+          prop_stream_curve_on_workloads;
+          prop_stream_koenig_at_random_cuts;
         ] );
     ]

@@ -329,6 +329,44 @@ let test_parmap_exception_propagates () =
   | exception Failure m -> check Alcotest.string "message" "boom" m
   | _ -> Alcotest.fail "expected Failure"
 
+let test_parmap_across_domain_counts () =
+  (* result order and exception choice must be schedule-independent:
+     identical across 1, 2 and the recommended number of domains *)
+  let xs = List.init 73 (fun i -> i) in
+  let f x = (x * 3) - 1 in
+  let expected = List.map f xs in
+  List.iter
+    (fun domains ->
+       check Alcotest.(list int)
+         (Printf.sprintf "order with %d domains" domains)
+         expected
+         (Prelude.Parmap.map ~domains f xs);
+       check Alcotest.(list int)
+         (Printf.sprintf "mapi order with %d domains" domains)
+         (List.mapi (fun i x -> (i * 100) + x) xs)
+         (Prelude.Parmap.mapi ~domains (fun i x -> (i * 100) + x) xs))
+    [ 1; 2; Prelude.Parmap.recommended_domains () ]
+
+let test_parmap_first_exception_in_input_order () =
+  (* several tasks fail; whatever the parallel schedule, the re-raised
+     exception must be the one from the earliest failing input *)
+  let failing x =
+    if x = 11 then failwith "first"
+    else if x = 12 || x = 30 then failwith "later"
+    else x
+  in
+  List.iter
+    (fun domains ->
+       match
+         Prelude.Parmap.map ~domains failing (List.init 40 (fun i -> i))
+       with
+       | exception Failure m ->
+         check Alcotest.string
+           (Printf.sprintf "earliest failure wins with %d domains" domains)
+           "first" m
+       | _ -> Alcotest.fail "expected Failure")
+    [ 1; 2; Prelude.Parmap.recommended_domains () ]
+
 let test_parmap_actually_parallel_zipf () =
   (* domains hitting the shared (mutex-protected) Zipf cache together *)
   let results =
@@ -438,6 +476,10 @@ let () =
           Alcotest.test_case "edge cases" `Quick test_parmap_edge_cases;
           Alcotest.test_case "exception propagates" `Quick
             test_parmap_exception_propagates;
+          Alcotest.test_case "order across domain counts" `Quick
+            test_parmap_across_domain_counts;
+          Alcotest.test_case "first exception in input order" `Quick
+            test_parmap_first_exception_in_input_order;
           Alcotest.test_case "parallel zipf determinism" `Quick
             test_parmap_actually_parallel_zipf;
         ] );

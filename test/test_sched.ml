@@ -303,6 +303,73 @@ let test_engine_adaptive_ids_and_instance () =
     !emitted;
   check Alcotest.bool "outcome consistent" true (Outcome.is_consistent o)
 
+let test_engine_adaptive_trailing_empty_rounds () =
+  (* an adversary that stops emitting after round 1: the engine must
+     still run the remaining rounds (services may land there) and build
+     the realised instance from what was actually emitted *)
+  let adversary ~round ~is_served:_ =
+    if round <= 1 then
+      [ Request.make ~arrival:round ~alternatives:[ 0; 1 ] ~deadline:2 ]
+    else []
+  in
+  let greedy : Strategy.factory =
+   fun ~n:_ ~d:_ ->
+    let pending = ref [] in
+    {
+      Strategy.name = "greedy0";
+      step =
+        (fun ~round ~arrivals ->
+           pending := !pending @ Array.to_list arrivals;
+           match !pending with
+           | r :: rest when Request.is_live r ~round ->
+             pending := rest;
+             [ { Strategy.request = r.Request.id; resource = 0 } ]
+           | _ -> []);
+    }
+  in
+  let o =
+    Engine.run_adaptive ~n:2 ~d:2 ~last_arrival_round:6 ~adversary greedy
+  in
+  check Alcotest.int "two requests realised" 2
+    (Instance.n_requests o.Outcome.instance);
+  check Alcotest.int "both served" 2 o.Outcome.served;
+  check Alcotest.bool "consistent" true (Outcome.is_consistent o)
+
+let test_engine_adaptive_no_arrivals_at_all () =
+  let adversary ~round:_ ~is_served:_ = [] in
+  let o =
+    Engine.run_adaptive ~n:3 ~d:2 ~last_arrival_round:4 ~adversary
+      (one_shot_strategy [])
+  in
+  check Alcotest.int "empty instance" 0 (Instance.n_requests o.Outcome.instance);
+  check Alcotest.int "nothing served" 0 o.Outcome.served;
+  check Alcotest.bool "consistent" true (Outcome.is_consistent o)
+
+let test_engine_adaptive_protocol_errors () =
+  (* each illegal-service class must also be caught in adaptive mode,
+     where the id space is still growing *)
+  let one_request_adversary ~round ~is_served:_ =
+    if round = 0 then
+      [ Request.make ~arrival:0 ~alternatives:[ 0 ] ~deadline:1 ]
+    else []
+  in
+  let run strategy =
+    Engine.run_adaptive ~n:2 ~d:2 ~last_arrival_round:1
+      ~adversary:one_request_adversary strategy
+  in
+  (* unknown (not yet emitted) request id *)
+  expect_protocol_error (fun () ->
+      run (one_shot_strategy [ (0, { Strategy.request = 7; resource = 0 }) ]));
+  (* expired: request 0's window is round 0 only *)
+  expect_protocol_error (fun () ->
+      run (one_shot_strategy [ (1, { Strategy.request = 0; resource = 0 }) ]));
+  (* foreign resource: 1 is not an alternative of request 0 *)
+  expect_protocol_error (fun () ->
+      run (one_shot_strategy [ (0, { Strategy.request = 0; resource = 1 }) ]));
+  (* resource out of range *)
+  expect_protocol_error (fun () ->
+      run (one_shot_strategy [ (0, { Strategy.request = 0; resource = 9 }) ]))
+
 let test_engine_adaptive_rejects_wrong_arrival () =
   let adversary ~round ~is_served:_ =
     [ Request.make ~arrival:(round + 1) ~alternatives:[ 0 ] ~deadline:1 ]
@@ -453,6 +520,12 @@ let () =
             test_engine_adaptive_ids_and_instance;
           Alcotest.test_case "rejects wrong arrival" `Quick
             test_engine_adaptive_rejects_wrong_arrival;
+          Alcotest.test_case "trailing empty rounds" `Quick
+            test_engine_adaptive_trailing_empty_rounds;
+          Alcotest.test_case "no arrivals at all" `Quick
+            test_engine_adaptive_no_arrivals_at_all;
+          Alcotest.test_case "protocol errors" `Quick
+            test_engine_adaptive_protocol_errors;
         ] );
       ( "outcome",
         [

@@ -7,23 +7,32 @@
    one Test.make per experiment family.
 
    Flags:
-     --quick     small parameters (the test suite's sizes)
-     --no-micro  skip the Bechamel timing runs
-     --only ID   run a single experiment (by id prefix, e.g. T1.fix)
-     --csv DIR   also write each experiment table as DIR/<id>.csv *)
+     --quick        small parameters (the test suite's sizes)
+     --no-micro     skip the Bechamel timing runs
+     --only ID      run a single experiment (by id prefix, e.g. T1.fix)
+     --csv DIR      also write each experiment table as DIR/<id>.csv
+     --metrics FMT  format of the closing metrics dump: text (default),
+                    csv or json
+     --metrics-out FILE  write the metrics dump to FILE instead of stdout
+     --no-metrics   run without the ambient metrics registry (the
+                    baseline for measuring instrumentation overhead) *)
 
 open Bechamel
 open Toolkit
 
-let flag name = Array.exists (( = ) name) Sys.argv
+let flag name = Report.Flags.flag Sys.argv name
 
+(* a value flag with a missing value is a usage error, not a silent
+   None (the old in-house parser dropped a trailing "--only") *)
 let string_flag name =
-  let rec find i =
-    if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
-    else find (i + 1)
-  in
-  find 1
+  match Report.Flags.value_flag Sys.argv name with
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf
+      "bench: %s\nusage: main.exe [--quick] [--no-micro] [--only ID] [--csv \
+       DIR] [--metrics FMT] [--metrics-out FILE] [--no-metrics]\n"
+      msg;
+    exit 2
 
 let only_filter () = string_flag "--only"
 
@@ -260,6 +269,25 @@ let run_micro () =
 
 let () =
   let quick = flag "--quick" in
+  let metrics_fmt =
+    match string_flag "--metrics" with
+    | None -> Obs.Export.Text
+    | Some s ->
+      (match Obs.Export.format_of_string s with
+       | Ok f -> f
+       | Error msg ->
+         Printf.eprintf "bench: %s\n" msg;
+         exit 2)
+  in
+  let metrics_out = string_flag "--metrics-out" in
+  let metrics =
+    if flag "--no-metrics" then None
+    else begin
+      let m = Obs.Metrics.create () in
+      Obs.Metrics.set_ambient (Some m);
+      Some m
+    end
+  in
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "reqsched reproduction harness -- Berenbrink, Riedel, Scheideler (SPAA \
@@ -300,4 +328,12 @@ let () =
   Printf.printf "total: %d experiments, %d failed checks, %.1f s\n"
     (List.length experiments) !failures
     (Unix.gettimeofday () -. t0);
+  (match metrics with
+   | None -> ()
+   | Some m ->
+     print_newline ();
+     Obs.Export.output ?path:metrics_out metrics_fmt (Obs.Metrics.snapshot m);
+     (match metrics_out with
+      | Some path -> Printf.printf "metrics: wrote %s\n" path
+      | None -> ()));
   if !failures > 0 then exit 1

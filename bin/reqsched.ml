@@ -32,12 +32,7 @@ let seed_arg =
   let doc = "PRNG seed (runs are fully deterministic given the seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let strategy_names =
-  [
-    "fix"; "current"; "fix_balance"; "eager"; "balance"; "edf"; "edf_coord";
-    "local_fix"; "local_eager"; "greedy_2choice"; "greedy_random";
-    "greedy_firstfit";
-  ]
+let strategy_names = Report.Registry.strategy_names
 
 let strategy_arg =
   let doc =
@@ -52,56 +47,51 @@ let workload_arg =
   in
   Arg.(value & opt string "uniform" & info [ "w"; "workload" ] ~docv:"W" ~doc)
 
-let factory_of_name name =
-  match name with
-  | "fix" -> Ok (Strategies.Global.fix ())
-  | "current" -> Ok (Strategies.Global.current ())
-  | "fix_balance" -> Ok (Strategies.Global.fix_balance ())
-  | "eager" -> Ok (Strategies.Global.eager ())
-  | "balance" -> Ok (Strategies.Global.balance ())
-  | "edf" -> Ok (Strategies.Edf.independent ())
-  | "edf_coord" -> Ok (Strategies.Edf.coordinated ())
-  | "local_fix" -> Ok (Localstrat.Local.fix ())
-  | "local_eager" -> Ok (Localstrat.Local.eager ())
-  | "greedy_2choice" -> Ok (Strategies.Twochoice.least_loaded ())
-  | "greedy_random" ->
-    Ok (Strategies.Twochoice.random_choice
-          ~rng:(Prelude.Rng.create ~seed:0) ())
-  | "greedy_firstfit" -> Ok (Strategies.Twochoice.first_fit ())
-  | other -> Error (Printf.sprintf "unknown strategy %S" other)
+let factory_of_name ~seed ?metrics name =
+  Report.Registry.factory_of_name ~seed ?metrics name
 
-(* A workload either fixes its own scenario (theorem adversaries) or is
-   generated from the CLI's size parameters. *)
-let instance_of_workload ~name ~n ~d ~rounds ~load ~seed =
-  let rng = Prelude.Rng.create ~seed in
-  let random profile =
-    Ok
-      (Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load ?profile ())
+let instance_of_workload = Report.Registry.instance_of_workload
+
+(* ------------------------------------------------------------------ *)
+(* metrics export (shared by the subcommands) *)
+
+let metrics_fmt_arg =
+  let doc =
+    "Record per-subsystem metrics (engine rounds, streaming-optimum \
+     search effort, network traffic, domain utilisation) and print them \
+     after the report in the given format: text, csv or json."
   in
-  let phases = max 1 (rounds / max 1 d) in
-  match name with
-  | "uniform" -> random None
-  | "zipf" -> random (Some (Adversary.Random_workload.Zipf 1.2))
-  | "bursty" ->
-    random
-      (Some
-         (Adversary.Random_workload.Bursty
-            { period = 20; duty = 0.3; peak = 2.5 }))
-  | "thm21" -> Ok (Adversary.Thm21.make ~d ~phases).instance
-  | "thm22" ->
-    (try Ok (Adversary.Thm22.make ~ell:4 ~d ~phases).instance
-     with Invalid_argument m -> Error m)
-  | "thm23" ->
-    (try Ok (Adversary.Thm23.make ~d ~phases).instance
-     with Invalid_argument m -> Error m)
-  | "thm24" ->
-    (try Ok (Adversary.Thm24.make ~d ~phases).instance
-     with Invalid_argument m -> Error m)
-  | "thm25" ->
-    (try Ok (Adversary.Thm25.make ~d ~groups:3 ~intervals:phases).instance
-     with Invalid_argument m -> Error m)
-  | "thm37" -> Ok (fst (Adversary.Thm37.make ~d ~intervals:phases)).instance
-  | other -> Error (Printf.sprintf "unknown workload %S" other)
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the $(b,--metrics) dump to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Parse the format, install an ambient registry around [k], export on
+   success.  [k] receives the registry so commands can also pass it
+   explicitly where the ambient fallback does not reach. *)
+let with_metrics fmt out k =
+  match fmt with
+  | None -> k None
+  | Some name ->
+    (match Obs.Export.format_of_string name with
+     | Error m -> `Error (false, m)
+     | Ok fmt ->
+       let m = Obs.Metrics.create () in
+       Obs.Metrics.set_ambient (Some m);
+       Fun.protect
+         ~finally:(fun () -> Obs.Metrics.set_ambient None)
+         (fun () ->
+            match k (Some m) with
+            | `Ok () ->
+              Obs.Export.output ?path:out fmt (Obs.Metrics.snapshot m);
+              (match out with
+               | Some path -> Printf.printf "metrics  : wrote %s\n" path
+               | None -> ());
+              `Ok ()
+            | other -> other))
 
 let print_outcome_summary (r : Report.Harness.run) =
   let o = r.outcome in
@@ -118,14 +108,16 @@ let print_outcome_summary (r : Report.Harness.run) =
 (* run *)
 
 let run_cmd =
-  let action strategy workload n d rounds load seed audit csv phases =
-    match factory_of_name strategy with
+  let action strategy workload n d rounds load seed audit csv phases mfmt mout
+      =
+    with_metrics mfmt mout @@ fun metrics ->
+    match factory_of_name ~seed ?metrics strategy with
     | Error m -> `Error (false, m)
     | Ok factory ->
       (match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
        | Error m -> `Error (false, m)
        | Ok inst ->
-         let r = Report.Harness.run_instance inst factory in
+         let r = Report.Harness.run_instance ?metrics inst factory in
          print_outcome_summary r;
          if audit then begin
            let a = Analysis.Audit.of_outcome r.outcome in
@@ -173,7 +165,7 @@ let run_cmd =
   let term =
     Term.(ret (const action $ strategy_arg $ workload_arg $ n_arg $ d_arg
                $ rounds_arg $ load_arg $ seed_arg $ audit_arg $ csv_arg
-               $ phases_arg))
+               $ phases_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one strategy on a workload.")
@@ -183,11 +175,16 @@ let run_cmd =
 (* compare *)
 
 let compare_cmd =
-  let action workload n d rounds load seed =
+  let action workload n d rounds load seed mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
     match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
     | Error m -> `Error (false, m)
     | Ok inst ->
-      let opt = Offline.Opt.value inst in
+      let opt =
+        match metrics with
+        | Some m -> Offline.Opt_stream.value ~metrics:m inst
+        | None -> Offline.Opt.value inst
+      in
       let table =
         Prelude.Texttable.create
           ~title:
@@ -198,10 +195,10 @@ let compare_cmd =
       in
       List.iter
         (fun name ->
-           match factory_of_name name with
+           match factory_of_name ~seed ?metrics name with
            | Error _ -> ()
            | Ok factory ->
-             let o = Sched.Engine.run inst factory in
+             let o = Sched.Engine.run ?metrics inst factory in
              Prelude.Texttable.add_row table
                [
                  name;
@@ -216,7 +213,7 @@ let compare_cmd =
   in
   let term =
     Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
-               $ load_arg $ seed_arg))
+               $ load_arg $ seed_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every strategy on one workload.")
@@ -226,7 +223,10 @@ let compare_cmd =
 (* exp *)
 
 let exp_cmd =
-  let action id quick =
+  let action id quick mfmt mout =
+    with_metrics mfmt mout @@ fun _metrics ->
+    (* the experiments pick the registry up ambiently, through
+       Harness.run_instance / Harness.parmap / Engine.run / Net.create *)
     let matches =
       if id = "all" then Report.Experiments.catalog
       else
@@ -262,7 +262,10 @@ let exp_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small parameters.")
   in
-  let term = Term.(ret (const action $ id_arg $ quick_arg)) in
+  let term =
+    Term.(ret (const action $ id_arg $ quick_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
+  in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run reproduction experiments (DESIGN.md §3).")
     term
@@ -300,7 +303,8 @@ let table1_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let action workload n d rounds seed =
+  let action workload n d rounds seed mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
     let loads = [ 0.5; 0.7; 0.9; 1.0; 1.1; 1.3; 1.5; 2.0 ] in
     let strategies =
       [ "fix"; "balance"; "edf"; "local_eager"; "greedy_2choice" ]
@@ -327,10 +331,10 @@ let sweep_cmd =
            let cells =
              List.map
                (fun sname ->
-                  match factory_of_name sname with
+                  match factory_of_name ~seed ?metrics sname with
                   | Error _ -> "-"
                   | Ok factory ->
-                    let o = Sched.Engine.run inst factory in
+                    let o = Sched.Engine.run ?metrics inst factory in
                     Prelude.Texttable.cell_ratio
                       (float_of_int opt /. float_of_int (max 1 o.served)))
                strategies
@@ -346,7 +350,7 @@ let sweep_cmd =
   in
   let term =
     Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
-               $ seed_arg))
+               $ seed_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -357,14 +361,15 @@ let sweep_cmd =
 (* trace *)
 
 let trace_cmd =
-  let action strategy workload n d rounds load seed grid =
-    match factory_of_name strategy with
+  let action strategy workload n d rounds load seed grid mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
+    match factory_of_name ~seed ?metrics strategy with
     | Error m -> `Error (false, m)
     | Ok factory ->
       (match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
        | Error m -> `Error (false, m)
        | Ok inst ->
-         let o = Sched.Engine.run inst factory in
+         let o = Sched.Engine.run ?metrics inst factory in
          if grid then begin
            print_string (Report.Gantt.render_with_failures o);
            print_newline ()
@@ -404,7 +409,8 @@ let trace_cmd =
   in
   let term =
     Term.(ret (const action $ strategy_arg $ workload_arg $ n_arg $ d_arg
-               $ rounds_arg $ load_arg $ seed_arg $ grid_arg))
+               $ rounds_arg $ load_arg $ seed_arg $ grid_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "trace"

@@ -12,13 +12,19 @@ type t = {
   priority : sender:int -> dst:int -> int;
   loss : float;
   loss_rng : Prelude.Rng.t;
-  mutable comm_rounds : int;
-  mutable sent : int;
-  mutable bounced : int;
+  metrics : Obs.Metrics.t;
 }
 
+let k_rounds = "net.comm_rounds"
+let k_sent = "net.sent"
+let k_delivered = "net.delivered"
+let k_bounced = "net.bounced"
+let k_dropped = "net.dropped"
+
+let counters = [ k_rounds; k_sent; k_delivered; k_bounced; k_dropped ]
+
 let create ~n ~capacity ?(priority = fun ~sender:_ ~dst:_ -> 0)
-    ?(loss = 0.0) ?loss_rng () =
+    ?(loss = 0.0) ?loss_rng ?metrics () =
   if n < 1 then invalid_arg "Net.create: n must be >= 1";
   if capacity < 1 then invalid_arg "Net.create: capacity must be >= 1";
   if not (loss >= 0.0 && loss <= 1.0) then
@@ -28,68 +34,91 @@ let create ~n ~capacity ?(priority = fun ~sender:_ ~dst:_ -> 0)
     | Some rng -> rng
     | None -> Prelude.Rng.create ~seed:0
   in
-  { n; capacity; priority; loss; loss_rng;
-    comm_rounds = 0; sent = 0; bounced = 0 }
+  let metrics =
+    match Obs.Metrics.resolve metrics with
+    | Some m -> m
+    | None -> Obs.Metrics.create ()
+  in
+  { n; capacity; priority; loss; loss_rng; metrics }
 
 let exchange t msgs =
   match msgs with
   | [] -> []
   | _ :: _ ->
-    t.comm_rounds <- t.comm_rounds + 1;
-    t.sent <- t.sent + List.length msgs;
+    Obs.Metrics.incr t.metrics k_rounds;
+    Obs.Metrics.incr ~by:(List.length msgs) t.metrics k_sent;
     (* failure injection: drop untagged messages before the mailbox;
        tagged messages keep their delivery guarantee *)
+    let dropped = ref 0 in
     let survives m =
       m.tagged || t.loss = 0.0
       || Prelude.Rng.float t.loss_rng 1.0 >= t.loss
+      || begin
+        incr dropped;
+        false
+      end
     in
+    (* messages are identified by their position in the input list: the
+       same (sender, dst) pair may legally appear several times in one
+       exchange, and each copy is delivered or bounced on its own *)
+    let indexed = List.mapi (fun i m -> (i, m)) msgs in
     (* bucket by destination *)
     let buckets = Array.make t.n [] in
     List.iter
-      (fun m ->
+      (fun ((_, m) as im) ->
          if m.dst < 0 || m.dst >= t.n then
            invalid_arg "Net.exchange: destination out of range";
-         if survives m then buckets.(m.dst) <- m :: buckets.(m.dst))
-      msgs;
+         if survives m then buckets.(m.dst) <- im :: buckets.(m.dst))
+      indexed;
     let delivered = Hashtbl.create 64 in
     Array.iteri
       (fun dst inbox ->
-         let tagged, untagged = List.partition (fun m -> m.tagged) inbox in
-         List.iter (fun m -> Hashtbl.replace delivered (m.sender, dst) ()) tagged;
+         let tagged, untagged =
+           List.partition (fun (_, m) -> m.tagged) inbox
+         in
+         List.iter (fun (i, _) -> Hashtbl.replace delivered i ()) tagged;
          (* LDF: keep the [capacity] messages with the latest deadlines;
-            ties by higher priority, then lower sender id *)
+            ties by higher priority, then lower sender id, then arrival
+            order *)
          let ranked =
            List.sort
-             (fun a b ->
+             (fun (ia, a) (ib, b) ->
                 if a.deadline_key <> b.deadline_key then
                   compare b.deadline_key a.deadline_key
                 else begin
                   let pa = t.priority ~sender:a.sender ~dst
                   and pb = t.priority ~sender:b.sender ~dst in
                   if pa <> pb then compare pb pa
-                  else compare a.sender b.sender
+                  else if a.sender <> b.sender then compare a.sender b.sender
+                  else compare ia ib
                 end)
              untagged
          in
          List.iteri
-           (fun i m ->
-              if i < t.capacity then
-                Hashtbl.replace delivered (m.sender, dst) ())
+           (fun rank (i, _) ->
+              if rank < t.capacity then Hashtbl.replace delivered i ())
            ranked)
       buckets;
-    List.map
-      (fun m ->
-         let ok = Hashtbl.mem delivered (m.sender, m.dst) in
-         if not ok then t.bounced <- t.bounced + 1;
-         (m, ok))
-      msgs
+    let bounced = ref 0 in
+    let results =
+      List.map
+        (fun (i, m) ->
+           let ok = Hashtbl.mem delivered i in
+           if not ok then incr bounced;
+           (m, ok))
+        indexed
+    in
+    Obs.Metrics.incr ~by:(List.length msgs - !bounced) t.metrics k_delivered;
+    Obs.Metrics.incr ~by:!bounced t.metrics k_bounced;
+    Obs.Metrics.incr ~by:!dropped t.metrics k_dropped;
+    results
 
-let tick t = t.comm_rounds <- t.comm_rounds + 1
-let comm_rounds t = t.comm_rounds
-let messages_sent t = t.sent
-let messages_bounced t = t.bounced
+let tick t = Obs.Metrics.incr t.metrics k_rounds
+let comm_rounds t = Obs.Metrics.counter t.metrics k_rounds
+let messages_sent t = Obs.Metrics.counter t.metrics k_sent
+let messages_bounced t = Obs.Metrics.counter t.metrics k_bounced
+let messages_dropped t = Obs.Metrics.counter t.metrics k_dropped
+let metrics t = t.metrics
 
 let reset_counters t =
-  t.comm_rounds <- 0;
-  t.sent <- 0;
-  t.bounced <- 0
+  List.iter (fun k -> Obs.Metrics.set_counter t.metrics k 0) counters

@@ -18,7 +18,10 @@
     The module also meters traffic: communication rounds and message
     counts, so tests can check the protocols' budgets (2 rounds for
     [A_local_fix], at most 9 for [A_local_eager]) as measurements rather
-    than assumptions. *)
+    than assumptions.  The meters live in an {!Obs.Metrics} registry
+    (counters [net.comm_rounds], [net.sent], [net.delivered],
+    [net.bounced], [net.dropped]); the classic accessors below read it,
+    so callers that never touch [Obs] see no change. *)
 
 type 'a message = {
   sender : int;      (** request id (or any sender key for priorities) *)
@@ -33,7 +36,8 @@ type t
 
 val create : n:int -> capacity:int ->
   ?priority:(sender:int -> dst:int -> int) ->
-  ?loss:float -> ?loss_rng:Prelude.Rng.t -> unit -> t
+  ?loss:float -> ?loss_rng:Prelude.Rng.t ->
+  ?metrics:Obs.Metrics.t -> unit -> t
 (** A network over [n] resources.  [priority] breaks LDF ties (higher
     kept); it defaults to constant 0 (so ties fall to lower sender id).
 
@@ -45,6 +49,12 @@ val create : n:int -> capacity:int ->
     messages are never dropped, matching their delivery guarantee in
     the paper.  [loss_rng] seeds the drop coin (fresh seed 0 if
     omitted).
+
+    [metrics] is the registry the traffic counters live in; when
+    omitted the ambient registry ({!Obs.Metrics.set_ambient}) is used
+    if set, else a fresh private one.  Networks sharing a registry
+    aggregate their counters (and {!reset_counters} zeroes the shared
+    ones).
     @raise Invalid_argument if [n < 1], [capacity < 1] or
     [loss] is outside [\[0, 1\]]. *)
 
@@ -54,8 +64,11 @@ val exchange : t -> 'a message list -> ('a message * bool) list
     Tagged messages are delivered before untagged ones and do not count
     against the capacity (per the paper's note that at most one arrives
     per resource); untagged messages then compete for [capacity] slots.
-    Counts one communication round if the list is non-empty, zero
-    otherwise. *)
+    Each message is delivered or bounced individually, keyed by its
+    position in the list — several messages with the same sender and
+    destination in one exchange are distinct (LDF ties among them break
+    by list order).  Counts one communication round if the list is
+    non-empty, zero otherwise. *)
 
 val tick : t -> unit
 (** Count a communication round that carries no request-to-resource
@@ -66,5 +79,14 @@ val comm_rounds : t -> int
 
 val messages_sent : t -> int
 val messages_bounced : t -> int
+(** Bounced = not delivered, whether by the capacity cut or by loss
+    injection. *)
+
+val messages_dropped : t -> int
+(** The loss-injected subset of the bounces. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The registry holding this network's counters. *)
 
 val reset_counters : t -> unit
+(** Zero the [net.*] counters in this network's registry. *)

@@ -21,6 +21,13 @@ module Ivec = Prelude.Ivec
    roots (the classical non-revival lemma), so one search per new right
    vertex, ever, keeps the matching maximum. *)
 
+type search_stats = {
+  searches : int;
+  successes : int;
+  warm_hits : int;
+  visited : int;
+}
+
 type t = {
   g : Bipartite.t;
   mutable left_to : int array; (* capacity >= n_left g; -1 = free *)
@@ -29,6 +36,13 @@ type t = {
   mutable stamp : int array; (* per left vertex, DFS visit clock *)
   mutable clock : int;
   mutable size : int;
+  (* plain counters (no locking: callers own the structure), read out by
+     the observability layer via [stats] *)
+  mutable searches : int;
+  mutable successes : int;
+  mutable warm_hits : int;
+  mutable visited : int;
+  mutable cur_visits : int; (* left vertices stamped by the live search *)
 }
 
 let grow a n ~fill =
@@ -58,6 +72,11 @@ let create g =
       stamp = Array.make (max nl 1) 0;
       clock = 0;
       size = 0;
+      searches = 0;
+      successes = 0;
+      warm_hits = 0;
+      visited = 0;
+      cur_visits = 0;
     }
   in
   if Bipartite.n_edges g > 0 then begin
@@ -74,6 +93,14 @@ let create g =
 let graph t = t.g
 let size t = t.size
 
+let stats t =
+  {
+    searches = t.searches;
+    successes = t.successes;
+    warm_hits = t.warm_hits;
+    visited = t.visited;
+  }
+
 (* DFS from a right vertex looking for a free left vertex along an
    alternating path; flips the path in place on success. *)
 let rec search t r =
@@ -87,6 +114,7 @@ let rec search t r =
       if t.stamp.(u) = t.clock then try_edge (i + 1)
       else begin
         t.stamp.(u) <- t.clock;
+        t.cur_visits <- t.cur_visits + 1;
         let r' = t.left_to.(u) in
         if r' < 0 || search t r' then begin
           (* if u was matched, the recursive call found r' a new partner
@@ -109,8 +137,17 @@ let augment_from_right t r =
   if t.right_to.(r) >= 0 then false
   else begin
     t.clock <- t.clock + 1;
+    t.cur_visits <- 0;
     let grew = search t r in
-    if grew then t.size <- t.size + 1;
+    t.searches <- t.searches + 1;
+    t.visited <- t.visited + t.cur_visits;
+    if grew then begin
+      t.size <- t.size + 1;
+      t.successes <- t.successes + 1;
+      (* a warm hit: the root's first probe was a free left vertex, no
+         rematching needed — the common case on paper-graph streams *)
+      if t.cur_visits = 1 then t.warm_hits <- t.warm_hits + 1
+    end;
     grew
   end
 

@@ -24,6 +24,16 @@
 
 type t
 
+type search_stats = {
+  searches : int;  (** augmenting-path searches started on free roots *)
+  successes : int; (** searches that grew the matching *)
+  warm_hits : int;
+      (** successes whose first probed left vertex was free — no
+          rematching; [warm_hits / searches] is the warm-start hit
+          rate the streaming-optimum metrics report *)
+  visited : int;   (** total left vertices stamped across all searches *)
+}
+
 val create : Bipartite.t -> t
 (** Attach to a graph and compute an initial maximum matching (via
     {!Hopcroft_karp.solve_from} warm-started from a greedy matching when
@@ -35,6 +45,11 @@ val graph : t -> Bipartite.t
 val size : t -> int
 (** Current matching size — the running offline optimum when the graph
     is a paper-graph prefix. *)
+
+val stats : t -> search_stats
+(** Cumulative search-effort counters since {!create} (the initial full
+    solve of a pre-populated graph is not counted; only incremental
+    searches are). *)
 
 val augment_from_right : t -> int -> bool
 (** One augmenting-path search rooted at the given right vertex; flips

@@ -21,13 +21,13 @@ type state = {
   mutable max_cr : int;
 }
 
-let make_state ~n ~d ~capacity ~loss ~priority =
+let make_state ~n ~d ~capacity ~loss ~priority ~metrics =
   {
     n;
     d;
     net =
       Net.create ~n ~capacity ?priority ~loss
-        ~loss_rng:(Prelude.Rng.create ~seed:1) ();
+        ~loss_rng:(Prelude.Rng.create ~seed:1) ?metrics ();
     slots = Hashtbl.create 128;
     assigned = Hashtbl.create 128;
     active = Hashtbl.create 128;
@@ -437,11 +437,14 @@ let eager_step st ~compact ~round ~arrivals =
 (* ------------------------------------------------------------------ *)
 (* factories *)
 
-let make_factory ~name ~capacity_of ~step_of ?(loss = 0.0) ?priority () =
+let make_factory ~name ~capacity_of ~step_of ?(loss = 0.0) ?priority
+    ?metrics () =
   let latest = ref None in
   let factory : Strategy.factory =
    fun ~n ~d ->
-    let st = make_state ~n ~d ~capacity:(capacity_of d) ~loss ~priority in
+    let st =
+      make_state ~n ~d ~capacity:(capacity_of d) ~loss ~priority ~metrics
+    in
     latest := Some st;
     { Strategy.name; step = step_of st }
   in
@@ -452,26 +455,27 @@ let stats_fn latest name () =
   | Some st -> stats_of st
   | None -> invalid_arg (name ^ ": no run yet")
 
-let fix_with_stats ?loss ?priority () =
+let fix_with_stats ?loss ?priority ?metrics () =
   let factory, latest =
     make_factory ~name:"A_local_fix" ~capacity_of:(fun d -> d)
       ~step_of:(fun st ~round ~arrivals -> fix_step st ~round ~arrivals)
-      ?loss ?priority ()
+      ?loss ?priority ?metrics ()
   in
   (factory, stats_fn latest "Local.fix_with_stats")
 
-let eager_with_stats ?(compact = false) ?loss ?priority () =
+let eager_with_stats ?(compact = false) ?loss ?priority ?metrics () =
   let name = if compact then "A_local_eager_compact" else "A_local_eager" in
   let capacity_of d = if compact then max 1 ((2 * d) - 2) else d in
   let factory, latest =
     make_factory ~name ~capacity_of
       ~step_of:(fun st ~round ~arrivals ->
           eager_step st ~compact ~round ~arrivals)
-      ?loss ?priority ()
+      ?loss ?priority ?metrics ()
   in
   (factory, stats_fn latest "Local.eager_with_stats")
 
-let fix ?loss ?priority () = fst (fix_with_stats ?loss ?priority ())
+let fix ?loss ?priority ?metrics () =
+  fst (fix_with_stats ?loss ?priority ?metrics ())
 
-let eager ?compact ?loss ?priority () =
-  fst (eager_with_stats ?compact ?loss ?priority ())
+let eager ?compact ?loss ?priority ?metrics () =
+  fst (eager_with_stats ?compact ?loss ?priority ?metrics ())

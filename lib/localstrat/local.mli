@@ -31,16 +31,18 @@ type stats = {
 }
 
 val fix : ?loss:float -> ?priority:(sender:int -> dst:int -> int) ->
-  unit -> Sched.Strategy.factory
+  ?metrics:Obs.Metrics.t -> unit -> Sched.Strategy.factory
 (** [priority] breaks the network's LDF ties (the adversarial knob of
     Theorem 3.7's lower bound).  [loss] (default 0) injects message
     loss into the network (see {!Distnet.Net.create}); the protocol
     treats drops as bounces and stays consistent, it just serves
-    less. *)
+    less.  [metrics] is handed to the underlying {!Distnet.Net}, so
+    the network's [net.*] counters land in the caller's registry (the
+    ambient one when omitted). *)
 
 val eager : ?compact:bool -> ?loss:float ->
-  ?priority:(sender:int -> dst:int -> int) -> unit ->
-  Sched.Strategy.factory
+  ?priority:(sender:int -> dst:int -> int) ->
+  ?metrics:Obs.Metrics.t -> unit -> Sched.Strategy.factory
 (** [compact] (default false) applies the paper's remark after the
     protocol description: raising the mailbox capacity to [2d - 2] lets
     phase 2's cancellation round travel together with phase 3's first
@@ -48,11 +50,13 @@ val eager : ?compact:bool -> ?loss:float ->
     scheduling round instead of 9). *)
 
 val fix_with_stats : ?loss:float ->
-  ?priority:(sender:int -> dst:int -> int) -> unit ->
+  ?priority:(sender:int -> dst:int -> int) ->
+  ?metrics:Obs.Metrics.t -> unit ->
   Sched.Strategy.factory * (unit -> stats)
 (** As {!fix}, plus a live accessor for the traffic meters of the last
     created strategy instance. *)
 
 val eager_with_stats : ?compact:bool -> ?loss:float ->
-  ?priority:(sender:int -> dst:int -> int) -> unit ->
+  ?priority:(sender:int -> dst:int -> int) ->
+  ?metrics:Obs.Metrics.t -> unit ->
   Sched.Strategy.factory * (unit -> stats)

@@ -1,0 +1,23 @@
+module Parmap = Prelude.Parmap
+
+let record_parmap m (stats : Parmap.domain_stat list) =
+  Metrics.incr m "parmap.maps";
+  Metrics.set m "parmap.last_domains" (float_of_int (List.length stats));
+  let latest =
+    List.fold_left (fun acc s -> Float.max acc s.Parmap.finished_at) 0.0 stats
+  in
+  List.iter
+    (fun (s : Parmap.domain_stat) ->
+       Metrics.incr ~by:s.tasks m "parmap.tasks";
+       Metrics.observe m "parmap.tasks_per_domain" (float_of_int s.tasks);
+       Metrics.observe m "parmap.idle_tail_s" (latest -. s.finished_at))
+    stats
+
+let parmap_mapi ?metrics ?domains f xs =
+  match Metrics.resolve metrics with
+  | None -> Parmap.mapi ?domains f xs
+  | Some m ->
+    Parmap.mapi ?domains ~clock:Span.now ~observe:(record_parmap m) f xs
+
+let parmap_map ?metrics ?domains f xs =
+  parmap_mapi ?metrics ?domains (fun _ x -> f x) xs

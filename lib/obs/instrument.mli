@@ -1,0 +1,22 @@
+(** Adapters wiring un-instrumentable layers into {!Metrics}.
+
+    {!Prelude.Parmap} sits below this library in the dependency order,
+    so it exposes a neutral [observe] hook instead of recording metrics
+    itself; the wrappers here connect that hook to a registry.
+
+    Metrics recorded per map call: counter [parmap.maps], counter
+    [parmap.tasks], gauge [parmap.last_domains], histogram
+    [parmap.tasks_per_domain], histogram [parmap.idle_tail_s] (how long
+    each domain sat idle waiting for the slowest one — the utilisation
+    loss of the round-robin partition). *)
+
+val parmap_map :
+  ?metrics:Metrics.t -> ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!Prelude.Parmap.map}, recording utilisation into the given registry
+    (or the ambient one; plain un-instrumented map when neither is
+    set). *)
+
+val parmap_mapi :
+  ?metrics:Metrics.t -> ?domains:int -> (int -> 'a -> 'b) -> 'a list ->
+  'b list
+(** Indexed variant. *)

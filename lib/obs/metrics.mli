@@ -1,0 +1,86 @@
+(** Named metrics: counters, gauges and histograms.
+
+    A registry maps metric names to mutable accumulators; instrumented
+    subsystems record into it on their hot paths, and the harness
+    exports a {!snapshot} at the end of a run ({!Export}).  Histograms
+    are {!Prelude.Stats} accumulators, so per-domain registries merge
+    exactly ({!merge} uses [Stats.merge]) — the property the
+    observability test-suite pins: recording a workload into [k]
+    registries and merging equals recording it into one.
+
+    Every operation takes the registry's mutex, so one registry may be
+    shared across domains; for hot parallel loops prefer one registry
+    per domain plus a final {!merge} (uncontended locks are cheap, but
+    contended ones are not).
+
+    Dotted lower-case names ([subsystem.metric], e.g.
+    ["engine.served"]) keep exports greppable; names must not contain
+    commas, double quotes or newlines (the CSV/JSON exporters reject
+    none of these, they would just corrupt the framing). *)
+
+type t
+(** A mutable, mutex-protected metric registry. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Prelude.Stats.t
+
+type snapshot = (string * value) list
+(** Immutable copy of a registry's contents, sorted by name.  The
+    [Stats.t] payloads are private copies. *)
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1; may be negative) to a counter, creating it at
+    [by] if absent.
+    @raise Invalid_argument if the name is bound to another kind. *)
+
+val set_counter : t -> string -> int -> unit
+(** Overwrite a counter (used by reset shims). *)
+
+val counter : t -> string -> int
+(** Current counter value; [0] if absent. *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge to the given value, creating it if absent. *)
+
+val gauge : t -> string -> float
+(** Current gauge value; [nan] if absent. *)
+
+val observe : t -> string -> float -> unit
+(** Fold one observation into a histogram, creating it if absent. *)
+
+val histogram : t -> string -> Prelude.Stats.t option
+(** Copy of a histogram's accumulator; [None] if absent. *)
+
+val snapshot : t -> snapshot
+
+val clear : t -> unit
+(** Drop every metric. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union by name: counters and gauges add, histograms combine via
+    {!Prelude.Stats.merge}.
+    @raise Invalid_argument when one name is bound to two kinds. *)
+
+val merge_all : snapshot list -> snapshot
+(** Left fold of {!merge}; [[]] on the empty list. *)
+
+val merge_into : t -> snapshot -> unit
+(** Fold a snapshot into a live registry (same semantics as {!merge}). *)
+
+(** {2 Ambient registry}
+
+    The CLI and bench set one process-wide registry before running;
+    instrumented subsystems whose [?metrics] argument is omitted fall
+    back to it (and record nothing when it is unset, the default).  Set
+    it before spawning domains and leave it alone afterwards. *)
+
+val set_ambient : t option -> unit
+val ambient : unit -> t option
+
+val resolve : t option -> t option
+(** [resolve metrics] is [metrics] if [Some], else {!ambient}[ ()] — the
+    lookup every instrumented module performs once per run or call. *)

@@ -1,0 +1,19 @@
+let now = Unix.gettimeofday
+
+type span = float (* start time, seconds *)
+
+let start () = now ()
+
+(* the wall clock can step backwards (NTP); never report negative time *)
+let elapsed t0 = Float.max 0.0 (now () -. t0)
+
+let finish metrics name t0 = Metrics.observe metrics name (elapsed t0)
+
+let record metrics name t0 =
+  match (metrics : Metrics.t option) with
+  | None -> ()
+  | Some m -> finish m name t0
+
+let time metrics name f =
+  let t0 = start () in
+  Fun.protect ~finally:(fun () -> finish metrics name t0) f

@@ -1,0 +1,27 @@
+(** Wall-clock span timing feeding {!Metrics} histograms.
+
+    Spans are plain start timestamps — no allocation, safe to take in
+    any domain.  The sink is a {!Metrics} registry, whose mutex makes
+    concurrent [finish] calls from several domains safe.  The clock is
+    [Unix.gettimeofday] with negative intervals clamped to zero, so
+    reported durations are monotone even across clock steps. *)
+
+val now : unit -> float
+(** Seconds since the epoch.  Exposed so other layers (e.g.
+    {!Prelude.Parmap} instrumentation) can share the same clock. *)
+
+type span
+
+val start : unit -> span
+
+val elapsed : span -> float
+(** Seconds since [start]; never negative. *)
+
+val finish : Metrics.t -> string -> span -> unit
+(** [finish m name span] observes {!elapsed} into histogram [name]. *)
+
+val record : Metrics.t option -> string -> span -> unit
+(** {!finish} when a registry is present; no-op otherwise. *)
+
+val time : Metrics.t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, observing its duration (even on exceptions). *)

@@ -27,8 +27,16 @@
 type t
 (** A live tracker: a growing prefix graph plus its maximum matching. *)
 
-val create : n_resources:int -> t
+val create : ?metrics:Obs.Metrics.t -> n_resources:int -> unit -> t
 (** An empty tracker (round 0 not yet fed).
+
+    [metrics] (or, when omitted, the ambient registry) receives per-feed
+    instrumentation: counters [opt_stream.rounds], [opt_stream.arrivals],
+    [opt_stream.searches], [opt_stream.augmentations],
+    [opt_stream.warm_hits], [opt_stream.search_visits] (augmenting-path
+    effort; see {!Graph.Augment.search_stats} — the mean search length is
+    [search_visits / searches] and the warm-start hit rate
+    [warm_hits / searches]) and histogram [opt_stream.feed_us].
     @raise Invalid_argument if [n_resources < 1]. *)
 
 val feed : t -> Sched.Request.t array -> int
@@ -56,14 +64,18 @@ val matching : t -> Graph.Matching.t
 (** Snapshot of the current maximum matching, e.g. for König
     certification at a cut round. *)
 
-val of_instance : Sched.Instance.t -> t
+val search_stats : t -> Graph.Augment.search_stats
+(** Cumulative augmenting-path effort of this tracker, whether or not a
+    metrics registry is attached. *)
+
+val of_instance : ?metrics:Obs.Metrics.t -> Sched.Instance.t -> t
 (** Feed a whole instance round by round. *)
 
-val prefix_curve : Sched.Instance.t -> int array
+val prefix_curve : ?metrics:Obs.Metrics.t -> Sched.Instance.t -> int array
 (** [curve (of_instance inst)]: the full per-round OPT prefix curve,
     length [horizon], in one pass. *)
 
-val value : Sched.Instance.t -> int
+val value : ?metrics:Obs.Metrics.t -> Sched.Instance.t -> int
 (** [opt (of_instance inst)] — drop-in compatible with {!Opt.value} /
     {!Opt.expanded} / {!Opt.grouped}, via the streaming route. *)
 

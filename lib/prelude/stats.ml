@@ -17,7 +17,15 @@ let add t x =
   if x < t.mn then t.mn <- x;
   if x > t.mx then t.mx <- x
 
+let copy t = { t with n = t.n }
+
+let of_moments ~count ~mean ~m2 ~mn ~mx =
+  if count < 0 then invalid_arg "Stats.of_moments: negative count";
+  if count = 0 then create ()
+  else { n = count; mean; m2; mn; mx }
+
 let count t = t.n
+let m2 t = t.m2
 let mean t = if t.n = 0 then nan else t.mean
 let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)

@@ -12,9 +12,24 @@ val create : unit -> t
 val add : t -> float -> unit
 (** Fold one observation into the accumulator. *)
 
+val copy : t -> t
+(** Independent accumulator with the same current state. *)
+
+val of_moments :
+  count:int -> mean:float -> m2:float -> mn:float -> mx:float -> t
+(** Rebuild an accumulator from its exported moments ({!count}, {!mean},
+    {!m2}, {!min}, {!max}) — the inverse of serialising those fields, used
+    by the observability layer's import paths.  [count = 0] yields a
+    fresh empty accumulator regardless of the other fields.
+    @raise Invalid_argument on a negative [count]. *)
+
 val count : t -> int
 val mean : t -> float
 (** [nan] when empty. *)
+
+val m2 : t -> float
+(** Raw sum of squared deviations from the mean (Welford's [M2]); [0.0]
+    when empty.  [variance t = m2 t /. (count t - 1)]. *)
 
 val variance : t -> float
 (** Unbiased sample variance; [nan] with fewer than two observations. *)

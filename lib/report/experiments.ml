@@ -424,7 +424,7 @@ let t1_upper_bounds ~quick =
        List.iter
          (fun (name, mk, ub, forbidden_order) ->
             let measured =
-              Prelude.Parmap.map
+              Harness.parmap
                 (fun (inst, bias) ->
                    let r =
                      Harness.run_instance inst (mk ?bias:(Some bias) ())
@@ -770,7 +770,7 @@ let series_average_case ~quick =
                 strategies
             in
             let ratios =
-              Prelude.Parmap.map
+              Harness.parmap
                 (fun (mk, seed) ->
                    let rng = Rng.create ~seed in
                    let inst =
@@ -1181,7 +1181,7 @@ let placement_policies ~quick =
   in
   let checks = ref [] in
   let results =
-    Prelude.Parmap.map
+    Harness.parmap
       (fun (_name, placement) ->
          let rng = Rng.create ~seed:92 in
          let inst, _stats =

@@ -1,0 +1,13 @@
+let flag argv name = Array.exists (( = ) name) argv
+
+let value_flag argv name =
+  let n = Array.length argv in
+  let rec find i =
+    if i >= n then Ok None
+    else if argv.(i) = name then
+      if i = n - 1 then
+        Error (Printf.sprintf "%s requires a value (e.g. %s VALUE)" name name)
+      else Ok (Some argv.(i + 1))
+    else find (i + 1)
+  in
+  find 1

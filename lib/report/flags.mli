@@ -1,0 +1,12 @@
+(** Minimal argv parsing for the bench harness (which deliberately does
+    not pull in cmdliner). *)
+
+val flag : string array -> string -> bool
+(** [flag argv name]: does [name] appear in [argv]? *)
+
+val value_flag : string array -> string -> (string option, string) result
+(** [value_flag argv name] is [Ok (Some v)] when [name] is followed by a
+    token [v], [Ok None] when [name] does not appear, and [Error usage]
+    when [name] is the final token — a missing value is an error, not a
+    silent default.  Search starts at index 1 ([argv.(0)] is the
+    executable). *)

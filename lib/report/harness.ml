@@ -4,9 +4,17 @@ type run = {
   ratio : float;
 }
 
-let run_instance inst factory =
-  let outcome = Sched.Engine.run inst factory in
-  let opt = Offline.Opt.value inst in
+let run_instance ?metrics inst factory =
+  let metrics = Obs.Metrics.resolve metrics in
+  let outcome = Sched.Engine.run ?metrics inst factory in
+  (* with metrics on, compute the optimum via the streaming tracker so
+     the run also profiles the augmenting-path machinery; the two
+     optima are pinned equal by the differential test-suite *)
+  let opt =
+    match metrics with
+    | Some m -> Offline.Opt_stream.value ~metrics:m inst
+    | None -> Offline.Opt.value inst
+  in
   {
     outcome;
     opt;
@@ -23,9 +31,10 @@ type anytime = {
   ratio_curve : float array;
 }
 
-let run_instance_anytime inst factory =
-  let outcome = Sched.Engine.run inst factory in
-  let opt_curve = Offline.Opt_stream.prefix_curve inst in
+let run_instance_anytime ?metrics inst factory =
+  let metrics = Obs.Metrics.resolve metrics in
+  let outcome = Sched.Engine.run ?metrics inst factory in
+  let opt_curve = Offline.Opt_stream.prefix_curve ?metrics inst in
   let alg_curve =
     let acc = ref 0 in
     Array.map
@@ -81,6 +90,9 @@ let asymptotic_ratio ~make ~factory ~k =
 let asymptotic_ratio_exact ~make ~factory ~k =
   let dopt, dalg = diffs ~make ~factory ~k in
   Prelude.Rat.make dopt dalg
+
+let parmap ?metrics ?domains f xs =
+  Obs.Instrument.parmap_map ?metrics ?domains f xs
 
 let rat_cell r =
   Printf.sprintf "%s (%.4f)" (Prelude.Rat.to_string r)

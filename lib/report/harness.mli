@@ -12,7 +12,14 @@ val run_scenario : Adversary.Scenario.t -> Sched.Strategy.factory -> run
     optimum and a mismatch raises [Failure] — the adversary constructions
     are exact, so disagreement means a bug. *)
 
-val run_instance : Sched.Instance.t -> Sched.Strategy.factory -> run
+val run_instance :
+  ?metrics:Obs.Metrics.t -> Sched.Instance.t -> Sched.Strategy.factory ->
+  run
+(** With a registry (explicit or ambient) the engine records its
+    per-round metrics, and the offline optimum is computed by the
+    instrumented streaming tracker ({!Offline.Opt_stream.value}, pinned
+    equal to {!Offline.Opt.value} by the differential suite) so the run
+    profiles the augmenting-path machinery too. *)
 
 type anytime = {
   run : run;
@@ -24,7 +31,8 @@ type anytime = {
 }
 
 val run_instance_anytime :
-  Sched.Instance.t -> Sched.Strategy.factory -> anytime
+  ?metrics:Obs.Metrics.t -> Sched.Instance.t -> Sched.Strategy.factory ->
+  anytime
 (** Like {!run_instance} but with anytime competitive monitoring: the
     final optimum and the whole per-round curve come from one streaming
     pass ({!Offline.Opt_stream.prefix_curve}) instead of per-round full
@@ -47,6 +55,12 @@ val asymptotic_ratio_exact :
   factory:(Adversary.Scenario.t -> Sched.Strategy.factory) ->
   k:int -> Prelude.Rat.t
 (** As {!asymptotic_ratio}, as an exact rational. *)
+
+val parmap :
+  ?metrics:Obs.Metrics.t -> ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!Prelude.Parmap.map} with domain-utilisation metrics
+    ({!Obs.Instrument.parmap_map}); the experiment fan-outs use this so
+    [parmap.*] counters appear whenever a registry is ambient. *)
 
 val rat_cell : Prelude.Rat.t -> string
 (** ["45/41 (1.0976)"]. *)

@@ -63,7 +63,29 @@ let finish ledger ~inst ~strategy_name =
     per_round_served;
   }
 
-let run inst factory =
+(* Per-round metric recording around one strategy step.  [step] is a
+   thunk so the un-instrumented path pays a single match per round. *)
+let step_with_metrics metrics ledger ~round ~arrivals step =
+  match metrics with
+  | None ->
+    let services = step () in
+    apply_services ledger ~round services
+  | Some m ->
+    let served0 = Hashtbl.length ledger.served_tbl
+    and wasted0 = ledger.wasted in
+    let t0 = Obs.Span.start () in
+    let services = step () in
+    Obs.Metrics.observe m "engine.step_us" (Obs.Span.elapsed t0 *. 1e6);
+    apply_services ledger ~round services;
+    let served = Hashtbl.length ledger.served_tbl - served0 in
+    Obs.Metrics.incr m "engine.rounds";
+    Obs.Metrics.incr ~by:(Array.length arrivals) m "engine.arrivals";
+    Obs.Metrics.incr ~by:served m "engine.served";
+    Obs.Metrics.incr ~by:(ledger.wasted - wasted0) m "engine.wasted";
+    Obs.Metrics.observe m "engine.served_per_round" (float_of_int served)
+
+let run ?metrics inst factory =
+  let metrics = Obs.Metrics.resolve metrics in
   let strategy = factory ~n:inst.Instance.n_resources ~d:inst.Instance.d in
   let ledger =
     make_ledger ~n:inst.Instance.n_resources ~lookup:(fun id ->
@@ -73,16 +95,17 @@ let run inst factory =
   in
   for round = 0 to inst.Instance.horizon - 1 do
     let arrivals = Instance.arrivals_at inst round in
-    let services = strategy.Strategy.step ~round ~arrivals in
-    apply_services ledger ~round services
+    step_with_metrics metrics ledger ~round ~arrivals (fun () ->
+        strategy.Strategy.step ~round ~arrivals)
   done;
   finish ledger ~inst ~strategy_name:strategy.Strategy.name
 
 let run_all inst factories = List.map (run inst) factories
 
-let run_adaptive ~n ~d ~last_arrival_round ~adversary factory =
+let run_adaptive ?metrics ~n ~d ~last_arrival_round ~adversary factory =
   if last_arrival_round < 0 then
     invalid_arg "Engine.run_adaptive: negative last_arrival_round";
+  let metrics = Obs.Metrics.resolve metrics in
   let strategy = factory ~n ~d in
   let by_id : (int, Request.t) Hashtbl.t = Hashtbl.create 256 in
   let emitted = ref [] (* reversed *) in
@@ -118,8 +141,8 @@ let run_adaptive ~n ~d ~last_arrival_round ~adversary factory =
         Array.of_list assigned
       end
     in
-    let services = strategy.Strategy.step ~round ~arrivals in
-    apply_services ledger ~round services
+    step_with_metrics metrics ledger ~round ~arrivals (fun () ->
+        strategy.Strategy.step ~round ~arrivals)
   done;
   let protos =
     List.rev_map

@@ -11,10 +11,18 @@ exception Protocol_error of string
     resource not among its alternatives, or two services on one resource
     in the same round. *)
 
-val run : Instance.t -> Strategy.factory -> Outcome.t
+val run : ?metrics:Obs.Metrics.t -> Instance.t -> Strategy.factory -> Outcome.t
 (** Run the strategy over the whole instance.  Services of an
     already-served request are legal but counted as [wasted] (the paper's
-    EDF duplicates); everything else illegal raises {!Protocol_error}. *)
+    EDF duplicates); everything else illegal raises {!Protocol_error}.
+
+    [metrics] (or, when omitted, the ambient registry of
+    {!Obs.Metrics.set_ambient}) receives per-round instrumentation:
+    counters [engine.rounds], [engine.arrivals], [engine.served],
+    [engine.wasted]; histograms [engine.step_us] (wall-clock latency of
+    each strategy step, microseconds) and [engine.served_per_round].
+    With neither set, the engine records nothing and pays one match per
+    round. *)
 
 val run_all : Instance.t -> Strategy.factory list -> Outcome.t list
 (** [run] once per factory on the same instance. *)
@@ -29,6 +37,7 @@ type adaptive = round:int -> is_served:(int -> bool) -> Request.t list
     blocks whichever colour group the algorithm left most unserved. *)
 
 val run_adaptive :
+  ?metrics:Obs.Metrics.t ->
   n:int -> d:int -> last_arrival_round:int -> adversary:adaptive ->
   Strategy.factory -> Outcome.t
 (** Run a strategy against an adaptive adversary.  The adversary is

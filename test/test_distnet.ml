@@ -96,6 +96,39 @@ let test_per_destination_capacity () =
   in
   check Alcotest.(list int) "one per destination" [ 1; 2 ] (delivered results)
 
+(* Regression: the delivered set used to be keyed by (sender, dst), so
+   two messages from the same sender to the same resource were
+   indistinguishable — when capacity cut one of them, BOTH came back
+   marked delivered.  Delivery status must be per message. *)
+let test_duplicate_sender_dst_over_capacity () =
+  let net = Net.create ~n:1 ~capacity:1 () in
+  let results =
+    Net.exchange net
+      [
+        msg ~sender:0 ~dst:0 ~deadline:3 ();
+        msg ~sender:0 ~dst:0 ~deadline:9 ();
+      ]
+  in
+  check
+    Alcotest.(list bool)
+    "exactly the later-deadline copy delivered" [ false; true ]
+    (List.map snd results);
+  check Alcotest.int "one bounce counted" 1 (Net.messages_bounced net);
+  (* same shape, more copies than capacity: delivered + bounced must
+     partition the batch *)
+  let net = Net.create ~n:1 ~capacity:2 () in
+  let results =
+    Net.exchange net
+      (List.init 5 (fun i -> msg ~sender:3 ~dst:0 ~deadline:(10 + i) ()))
+  in
+  let ok = List.filter snd results and ko = List.filter (fun (_, d) -> not d) results in
+  check Alcotest.int "capacity-many delivered" 2 (List.length ok);
+  check Alcotest.int "rest bounced" 3 (List.length ko);
+  check
+    Alcotest.(list bool)
+    "latest deadlines kept" [ false; false; false; true; true ]
+    (List.map snd results)
+
 let test_reset_counters () =
   let net = Net.create ~n:1 ~capacity:1 () in
   ignore (Net.exchange net [ msg ~sender:0 ~dst:0 ~deadline:1 () ]);
@@ -214,6 +247,8 @@ let () =
           Alcotest.test_case "empty exchange" `Quick test_empty_exchange_free;
           Alcotest.test_case "per destination" `Quick
             test_per_destination_capacity;
+          Alcotest.test_case "duplicate sender/dst over capacity" `Quick
+            test_duplicate_sender_dst_over_capacity;
           Alcotest.test_case "reset" `Quick test_reset_counters;
           Alcotest.test_case "validation" `Quick test_validation;
         ] );

@@ -269,7 +269,7 @@ let test_stream_theorem_adversaries () =
 let test_stream_incremental_api () =
   (* feeding by hand matches of_instance, and opt/rounds/curve agree *)
   let inst = build_workload (3, 3, 12, 77) in
-  let t = Offline.Opt_stream.create ~n_resources:3 in
+  let t = Offline.Opt_stream.create ~n_resources:3 () in
   check Alcotest.int "opt before any round" 0 (Offline.Opt_stream.opt t);
   for round = 0 to inst.Instance.horizon - 1 do
     let v = Offline.Opt_stream.feed t (Instance.arrivals_at inst round) in
@@ -299,7 +299,7 @@ let certify_at_cuts inst =
   in
   List.for_all
     (fun cut ->
-       let t = Offline.Opt_stream.create ~n_resources:inst.Instance.n_resources in
+       let t = Offline.Opt_stream.create ~n_resources:inst.Instance.n_resources () in
        for round = 0 to cut - 1 do
          ignore (Offline.Opt_stream.feed t (Instance.arrivals_at inst round) : int)
        done;

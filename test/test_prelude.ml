@@ -367,6 +367,63 @@ let test_parmap_first_exception_in_input_order () =
        | _ -> Alcotest.fail "expected Failure")
     [ 1; 2; Prelude.Parmap.recommended_domains () ]
 
+exception Parmap_bt_probe
+
+let[@inline never] parmap_bt_boom x =
+  (* backtrace recording is per-domain in OCaml 5, so switch it on
+     inside the worker, where the raise happens *)
+  Printexc.record_backtrace true;
+  if x >= 0 then raise Parmap_bt_probe;
+  x
+
+(* Regression: the re-raise used to be a bare [raise e], which rewrites
+   the backtrace to point at the caller and loses the worker-side frames.
+   [Printexc.raise_with_backtrace] must preserve the trace captured in
+   the worker domain. *)
+let test_parmap_backtrace_preserved () =
+  (* ... and in this domain, where the re-raise happens *)
+  Printexc.record_backtrace true;
+  List.iter
+    (fun domains ->
+       match
+         Prelude.Parmap.map ~domains parmap_bt_boom (List.init 8 (fun i -> i))
+       with
+       | exception Parmap_bt_probe ->
+         let bt = Printexc.get_backtrace () in
+         if not (Printexc.backtrace_status ()) then ()
+         else if
+           (* the worker frame must survive the cross-domain re-raise *)
+           not
+             (List.exists
+                (fun needle ->
+                   let n = String.length needle and h = String.length bt in
+                   let rec at i =
+                     i + n <= h && (String.sub bt i n = needle || at (i + 1))
+                   in
+                   at 0)
+                [ "parmap_bt_boom"; "test_prelude.ml\", line" ])
+         then
+           Alcotest.failf
+             "worker frames missing from backtrace (%d domains):\n%s" domains
+             bt
+       | _ -> Alcotest.fail "expected Parmap_bt_probe")
+    [ 1; 3 ]
+
+let test_parmap_domain_stats () =
+  (* the observe hook reports one stat per domain, covering every task *)
+  let seen = ref [] in
+  let _ =
+    Prelude.Parmap.mapi ~domains:3
+      ~observe:(fun stats -> seen := stats)
+      (fun _ x -> x)
+      (List.init 10 (fun i -> i))
+  in
+  check Alcotest.int "one stat per domain" 3 (List.length !seen);
+  check Alcotest.int "tasks partition the input" 10
+    (List.fold_left
+       (fun acc (s : Prelude.Parmap.domain_stat) -> acc + s.tasks)
+       0 !seen)
+
 let test_parmap_actually_parallel_zipf () =
   (* domains hitting the shared (mutex-protected) Zipf cache together *)
   let results =
@@ -480,6 +537,9 @@ let () =
             test_parmap_across_domain_counts;
           Alcotest.test_case "first exception in input order" `Quick
             test_parmap_first_exception_in_input_order;
+          Alcotest.test_case "backtrace preserved" `Quick
+            test_parmap_backtrace_preserved;
+          Alcotest.test_case "domain stats" `Quick test_parmap_domain_stats;
           Alcotest.test_case "parallel zipf determinism" `Quick
             test_parmap_actually_parallel_zipf;
         ] );

@@ -45,6 +45,59 @@ let test_render_contains_pass_lines () =
   Alcotest.check Alcotest.bool "has PASS marker" true
     (contains ~needle:"[PASS]" s)
 
+(* Regression: greedy_random's coin rng was hardcoded to seed 0, so
+   --seed changed the workload but never the strategy's coin flips.  Two
+   seeds on the SAME instance must now produce different schedules. *)
+let test_registry_seed_reaches_greedy_random () =
+  let inst =
+    match
+      Report.Registry.instance_of_workload ~name:"uniform" ~n:8 ~d:4
+        ~rounds:80 ~load:1.3 ~seed:42
+    with
+    | Ok i -> i
+    | Error m -> Alcotest.fail m
+  in
+  let served_at seed =
+    match Report.Registry.factory_of_name ~seed "greedy_random" with
+    | Error m -> Alcotest.fail m
+    | Ok factory ->
+      (Sched.Engine.run inst factory).Sched.Outcome.served_at
+  in
+  Alcotest.check Alcotest.bool "same seed reproduces" true
+    (served_at 1 = served_at 1);
+  Alcotest.check Alcotest.bool "different seeds differ" false
+    (served_at 1 = served_at 2)
+
+let test_registry_knows_every_strategy () =
+  List.iter
+    (fun name ->
+       match Report.Registry.factory_of_name ~seed:0 name with
+       | Ok _ -> ()
+       | Error m -> Alcotest.fail m)
+    Report.Registry.strategy_names;
+  match Report.Registry.factory_of_name ~seed:0 "no_such_strategy" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown strategy accepted"
+
+(* Regression: the bench's hand-rolled parser returned None for a value
+   flag sitting in final position, silently running the full suite when
+   the user typed `--only` and forgot the id. *)
+let test_flags_trailing_value_is_error () =
+  let argv suffix = Array.of_list ("main.exe" :: suffix) in
+  (match Report.Flags.value_flag (argv [ "--only"; "T1" ]) "--only" with
+   | Ok (Some "T1") -> ()
+   | _ -> Alcotest.fail "value not parsed");
+  (match Report.Flags.value_flag (argv [ "--quick" ]) "--only" with
+   | Ok None -> ()
+   | _ -> Alcotest.fail "absent flag must be Ok None");
+  (match Report.Flags.value_flag (argv [ "--quick"; "--only" ]) "--only" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "trailing value flag must be an error");
+  (* argv.(0) is the executable, never a flag match *)
+  match Report.Flags.value_flag (Array.of_list [ "--only" ]) "--only" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "argv.(0) must not match"
+
 let () =
   Alcotest.run "report"
     ~and_exit:true
@@ -56,6 +109,18 @@ let () =
           Alcotest.test_case "hint mismatch detected" `Quick
             test_harness_opt_hint_mismatch_detected;
           Alcotest.test_case "render" `Quick test_render_contains_pass_lines;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "seed reaches greedy_random" `Quick
+            test_registry_seed_reaches_greedy_random;
+          Alcotest.test_case "every strategy constructs" `Quick
+            test_registry_knows_every_strategy;
+        ] );
+      ( "flags",
+        [
+          Alcotest.test_case "trailing value flag" `Quick
+            test_flags_trailing_value_is_error;
         ] );
       ("experiments", List.map experiment_case Report.Experiments.catalog);
     ]

@@ -11,6 +11,10 @@
      --no-micro     skip the Bechamel timing runs
      --only ID      run a single experiment (by id prefix, e.g. T1.fix)
      --csv DIR      also write each experiment table as DIR/<id>.csv
+     --jobs N       worker domains for the experiment job runner
+     --cache-dir D  cache job results under D (with --resume: read too)
+     --resume       answer jobs from the cache when possible
+     --retries K    extra attempts per failing job
      --metrics FMT  format of the closing metrics dump: text (default),
                     csv or json
      --metrics-out FILE  write the metrics dump to FILE instead of stdout
@@ -30,9 +34,20 @@ let string_flag name =
   | Error msg ->
     Printf.eprintf
       "bench: %s\nusage: main.exe [--quick] [--no-micro] [--only ID] [--csv \
-       DIR] [--metrics FMT] [--metrics-out FILE] [--no-metrics]\n"
+       DIR] [--jobs N] [--cache-dir DIR] [--resume] [--retries K] \
+       [--metrics FMT] [--metrics-out FILE] [--no-metrics]\n"
       msg;
     exit 2
+
+let int_flag name =
+  match string_flag name with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt s with
+     | Some v -> Some v
+     | None ->
+       Printf.eprintf "bench: %s expects an integer, got %S\n" name s;
+       exit 2)
 
 let only_filter () = string_flag "--only"
 
@@ -225,6 +240,66 @@ let run_stream ~quick =
   Prelude.Texttable.print table;
   Printf.printf "check: streaming >= 5x faster: %b\n\n%!" (!min_speedup >= 5.0)
 
+(* The job-runner cost model: the same experiment battery executed
+   serially, across domains, and against a warm on-disk cache.  The
+   cached pass must answer (nearly) everything without computing — the
+   hit rate is asserted, the wall-clock numbers are informational. *)
+let run_jobs ~quick =
+  let ids = [ "T1.fix.lb"; "T1.eager.lb"; "T1.any.lb"; "T1.ub" ] in
+  let families =
+    List.filter (fun (id, _) -> List.mem id ids) Report.Experiments.catalog
+  in
+  let run ctx =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (_, f) -> ignore (f ~ctx ~quick : Report.Experiments.t))
+      families;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (elapsed, Report.Jobs.stats ctx)
+  in
+  let serial_s, serial_st = run (Report.Jobs.create ~domains:1 ()) in
+  let par_s, par_st = run (Report.Jobs.create ()) in
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "reqsched-bench-jobcache-%d" (Unix.getpid ()))
+  in
+  let cold_s, cold_st = run (Report.Jobs.create ~cache_dir ~resume:true ()) in
+  let warm_s, warm_st = run (Report.Jobs.create ~cache_dir ~resume:true ()) in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat cache_dir f))
+    (Sys.readdir cache_dir);
+  Sys.rmdir cache_dir;
+  let table =
+    Prelude.Texttable.create
+      ~title:
+        (Printf.sprintf
+           "B.jobs  --  battery of %d families through the job runner: \
+            serial vs parallel vs on-disk cache"
+           (List.length families))
+      ~header:
+        [ "mode"; "battery s"; "executed"; "cache hits"; "hit rate" ]
+      ()
+  in
+  let row name s (st : Report.Jobs.stats) =
+    Prelude.Texttable.add_row table
+      [
+        name;
+        Printf.sprintf "%.2f" s;
+        string_of_int st.Report.Jobs.executed;
+        string_of_int st.Report.Jobs.cache_hits;
+        Printf.sprintf "%.1f%%" (100.0 *. Report.Jobs.hit_rate st);
+      ]
+  in
+  row "serial (--jobs 1)" serial_s serial_st;
+  row "parallel" par_s par_st;
+  row "cache cold" cold_s cold_st;
+  row "cache warm" warm_s warm_st;
+  Prelude.Texttable.print table;
+  Printf.printf "check: warm cache answers everything: %b\n\n%!"
+    (warm_st.Report.Jobs.executed = 0
+     && warm_st.Report.Jobs.cache_hits = warm_st.Report.Jobs.total)
+
 let run_micro () =
   let tests = Test.make_grouped ~name:"reqsched" (micro_tests ()) in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
@@ -296,7 +371,8 @@ let () =
   if not (flag "--no-micro") then begin
     run_micro ();
     run_scale ~quick;
-    run_stream ~quick
+    run_stream ~quick;
+    run_jobs ~quick
   end;
   let catalog =
     match only_filter () with
@@ -308,7 +384,14 @@ let () =
            && String.sub id 0 (String.length prefix) = prefix)
         Report.Experiments.catalog
   in
-  let experiments = List.map (fun (_, f) -> f ~quick) catalog in
+  let ctx =
+    Report.Jobs.create ?domains:(int_flag "--jobs")
+      ?cache_dir:(string_flag "--cache-dir")
+      ~resume:(flag "--resume")
+      ~retries:(Option.value ~default:0 (int_flag "--retries"))
+      ?metrics ()
+  in
+  let experiments = List.map (fun (_, f) -> f ~ctx ~quick) catalog in
   let csv_dir = string_flag "--csv" in
   (match csv_dir with
    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
@@ -325,6 +408,10 @@ let () =
         | None -> ());
        List.iter (fun (_, ok) -> if not ok then incr failures) e.checks)
     experiments;
+  let job_failures = Report.Jobs.render_failures ctx in
+  if job_failures <> "" then print_string job_failures;
+  print_endline (Report.Jobs.summary ctx);
+  Report.Jobs.finish ctx;
   Printf.printf "total: %d experiments, %d failed checks, %.1f s\n"
     (List.length experiments) !failures
     (Unix.gettimeofday () -. t0);

@@ -53,6 +53,49 @@ let factory_of_name ~seed ?metrics name =
 let instance_of_workload = Report.Registry.instance_of_workload
 
 (* ------------------------------------------------------------------ *)
+(* job-runner arguments (shared by exp and sweep) *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment job runner (1 = serial; the \
+     default picks a count suited to the machine).  Any value produces \
+     byte-identical report output."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Cache job results under $(docv) (content-addressed, created on \
+     demand).  Results are always written when set; pair with \
+     $(b,--resume) to also read them back."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Answer jobs from the $(b,--cache-dir) cache when possible, \
+     recomputing only missing or corrupt entries — a killed run picks \
+     up where it left off."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let retries_arg =
+  let doc = "Extra attempts per failing job before recording the failure." in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"K" ~doc)
+
+let runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () =
+  Report.Jobs.create ?domains:jobs ?cache_dir ~resume ~retries ?metrics ()
+
+(* Print what the runner accumulated and flush its gauges so a
+   [--metrics] dump carries jobs.* alongside the live counters. *)
+let finish_runner ctx =
+  let failures = Report.Jobs.render_failures ctx in
+  if failures <> "" then print_string failures;
+  print_endline (Report.Jobs.summary ctx);
+  Report.Jobs.finish ctx
+
+(* ------------------------------------------------------------------ *)
 (* metrics export (shared by the subcommands) *)
 
 let metrics_fmt_arg =
@@ -223,10 +266,12 @@ let compare_cmd =
 (* exp *)
 
 let exp_cmd =
-  let action id quick mfmt mout =
-    with_metrics mfmt mout @@ fun _metrics ->
-    (* the experiments pick the registry up ambiently, through
-       Harness.run_instance / Harness.parmap / Engine.run / Net.create *)
+  let action id quick jobs cache_dir resume retries mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
+    (* the experiments enumerate their cases through the job runner;
+       everything else (Engine.run, Net.create, the streaming optimum)
+       still picks the registry up ambiently *)
+    let ctx = runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () in
     let matches =
       if id = "all" then Report.Experiments.catalog
       else
@@ -245,12 +290,13 @@ let exp_cmd =
       let failures = ref 0 in
       List.iter
         (fun (_, f) ->
-           let e = f ~quick in
+           let e = f ~ctx ~quick in
            print_string (Report.Experiments.render e);
            List.iter
              (fun (_, ok) -> if not ok then incr failures)
              e.Report.Experiments.checks)
         matches;
+      finish_runner ctx;
       if !failures = 0 then `Ok ()
       else `Error (false, Printf.sprintf "%d failed checks" !failures)
     end
@@ -263,7 +309,8 @@ let exp_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small parameters.")
   in
   let term =
-    Term.(ret (const action $ id_arg $ quick_arg $ metrics_fmt_arg
+    Term.(ret (const action $ id_arg $ quick_arg $ jobs_arg $ cache_dir_arg
+               $ resume_arg $ retries_arg $ metrics_fmt_arg
                $ metrics_out_arg))
   in
   Cmd.v
@@ -303,54 +350,106 @@ let table1_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let action workload n d rounds seed mfmt mout =
+  let action workload n d rounds seed jobs cache_dir resume retries mfmt mout
+      =
     with_metrics mfmt mout @@ fun metrics ->
+    let ctx = runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () in
     let loads = [ 0.5; 0.7; 0.9; 1.0; 1.1; 1.3; 1.5; 2.0 ] in
     let strategies =
       [ "fix"; "balance"; "edf"; "local_eager"; "greedy_2choice" ]
     in
-    let table =
-      Prelude.Texttable.create
-        ~title:
-          (Printf.sprintf
-             "competitive ratio vs load (workload %s, n=%d, d=%d, %d rounds)"
-             workload n d rounds)
-        ~header:("load" :: "optimum" :: strategies)
-        ()
+    let insts =
+      List.map
+        (fun load ->
+           ( load,
+             instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed ))
+        loads
     in
-    let ok = ref true in
-    List.iter
-      (fun load ->
-         match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed
-         with
-         | Error m ->
-           ok := false;
-           prerr_endline m
-         | Ok inst ->
-           let opt = Offline.Opt.value inst in
-           let cells =
-             List.map
+    match
+      List.find_map (function _, Error m -> Some m | _ -> None) insts
+    with
+    | Some m -> `Error (false, m)
+    | None ->
+      let insts =
+        List.map (fun (load, r) -> (load, Result.get_ok r)) insts
+      in
+      (* one job per table cell (plus the optimum per load): each is
+         independently parallelised, cached and fault-isolated *)
+      let shared =
+        [
+          ("workload", workload);
+          ("n", string_of_int n);
+          ("d", string_of_int d);
+          ("rounds", string_of_int rounds);
+          ("seed", string_of_int seed);
+        ]
+      in
+      let batch =
+        List.concat_map
+          (fun (load, inst) ->
+             let lp = [ ("load", string_of_float load) ] in
+             Report.Jobs.job
+               ~name:(Printf.sprintf "opt/load=%.2f" load)
+               ~params:lp
+               (fun ~attempt:_ -> Report.Jobs.Int (Offline.Opt.value inst))
+             :: List.map
                (fun sname ->
-                  match factory_of_name ~seed ?metrics sname with
-                  | Error _ -> "-"
-                  | Ok factory ->
-                    let o = Sched.Engine.run ?metrics inst factory in
-                    Prelude.Texttable.cell_ratio
-                      (float_of_int opt /. float_of_int (max 1 o.served)))
-               strategies
-           in
-           Prelude.Texttable.add_row table
-             (Printf.sprintf "%.1f" load :: string_of_int opt :: cells))
-      loads;
-    if !ok then begin
+                  Report.Jobs.job
+                    ~name:(Printf.sprintf "%s/load=%.2f" sname load)
+                    ~params:(("strategy", sname) :: lp)
+                    (fun ~attempt:_ ->
+                       match factory_of_name ~seed ?metrics sname with
+                       | Error m -> failwith m
+                       | Ok factory ->
+                         let o = Sched.Engine.run ?metrics inst factory in
+                         Report.Jobs.Int o.Sched.Outcome.served))
+               strategies)
+          insts
+      in
+      let outcomes = Report.Jobs.map ctx ~family:"sweep" ~shared batch in
+      let table =
+        Prelude.Texttable.create
+          ~title:
+            (Printf.sprintf
+               "competitive ratio vs load (workload %s, n=%d, d=%d, %d \
+                rounds)"
+               workload n d rounds)
+          ~header:("load" :: "optimum" :: strategies)
+          ()
+      in
+      let per_load = 1 + List.length strategies in
+      List.iteri
+        (fun li (load, _) ->
+           match List.filteri (fun i _ -> i / per_load = li) outcomes with
+           | opt_o :: cell_os ->
+             let opt = Report.Jobs.int_value opt_o in
+             let cells =
+               List.map
+                 (fun o ->
+                    Report.Jobs.cell o (function
+                      | Report.Jobs.Int served ->
+                        Prelude.Texttable.cell_ratio
+                          (float_of_int opt /. float_of_int (max 1 served))
+                      | _ -> "?"))
+                 cell_os
+             in
+             Prelude.Texttable.add_row table
+               (Printf.sprintf "%.1f" load
+                :: Report.Jobs.cell opt_o (function
+                  | Report.Jobs.Int v -> string_of_int v
+                  | _ -> "?")
+                :: cells)
+           | [] -> ())
+        insts;
       Prelude.Texttable.print table;
-      `Ok ()
-    end
-    else `Error (false, "sweep failed")
+      finish_runner ctx;
+      if Report.Jobs.failures ctx = [] then `Ok ()
+      else `Error (false, "sweep completed with failed jobs")
   in
   let term =
     Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
-               $ seed_arg $ metrics_fmt_arg $ metrics_out_arg))
+               $ seed_arg $ jobs_arg $ cache_dir_arg $ resume_arg
+               $ retries_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "sweep"

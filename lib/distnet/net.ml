@@ -6,6 +6,20 @@ type 'a message = {
   payload : 'a;
 }
 
+(* Per-instance meters are plain refs: a network belongs to one protocol
+   run, and its budget accounting (comm_rounds deltas in localstrat) must
+   not see traffic from other networks.  The metrics registry only
+   receives copies for telemetry — it may be the ambient one, shared by
+   every network in the process (and, under the job runner, by every
+   domain), so reading budgets back from it would race. *)
+type meters = {
+  mutable rounds : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bounced : int;
+  mutable dropped : int;
+}
+
 type t = {
   n : int;
   capacity : int;
@@ -13,6 +27,7 @@ type t = {
   loss : float;
   loss_rng : Prelude.Rng.t;
   metrics : Obs.Metrics.t;
+  meters : meters;
 }
 
 let k_rounds = "net.comm_rounds"
@@ -20,8 +35,6 @@ let k_sent = "net.sent"
 let k_delivered = "net.delivered"
 let k_bounced = "net.bounced"
 let k_dropped = "net.dropped"
-
-let counters = [ k_rounds; k_sent; k_delivered; k_bounced; k_dropped ]
 
 let create ~n ~capacity ?(priority = fun ~sender:_ ~dst:_ -> 0)
     ?(loss = 0.0) ?loss_rng ?metrics () =
@@ -39,12 +52,17 @@ let create ~n ~capacity ?(priority = fun ~sender:_ ~dst:_ -> 0)
     | Some m -> m
     | None -> Obs.Metrics.create ()
   in
-  { n; capacity; priority; loss; loss_rng; metrics }
+  let meters =
+    { rounds = 0; sent = 0; delivered = 0; bounced = 0; dropped = 0 }
+  in
+  { n; capacity; priority; loss; loss_rng; metrics; meters }
 
 let exchange t msgs =
   match msgs with
   | [] -> []
   | _ :: _ ->
+    t.meters.rounds <- t.meters.rounds + 1;
+    t.meters.sent <- t.meters.sent + List.length msgs;
     Obs.Metrics.incr t.metrics k_rounds;
     Obs.Metrics.incr ~by:(List.length msgs) t.metrics k_sent;
     (* failure injection: drop untagged messages before the mailbox;
@@ -108,17 +126,27 @@ let exchange t msgs =
            (m, ok))
         indexed
     in
+    t.meters.delivered <- t.meters.delivered + (List.length msgs - !bounced);
+    t.meters.bounced <- t.meters.bounced + !bounced;
+    t.meters.dropped <- t.meters.dropped + !dropped;
     Obs.Metrics.incr ~by:(List.length msgs - !bounced) t.metrics k_delivered;
     Obs.Metrics.incr ~by:!bounced t.metrics k_bounced;
     Obs.Metrics.incr ~by:!dropped t.metrics k_dropped;
     results
 
-let tick t = Obs.Metrics.incr t.metrics k_rounds
-let comm_rounds t = Obs.Metrics.counter t.metrics k_rounds
-let messages_sent t = Obs.Metrics.counter t.metrics k_sent
-let messages_bounced t = Obs.Metrics.counter t.metrics k_bounced
-let messages_dropped t = Obs.Metrics.counter t.metrics k_dropped
+let tick t =
+  t.meters.rounds <- t.meters.rounds + 1;
+  Obs.Metrics.incr t.metrics k_rounds
+
+let comm_rounds t = t.meters.rounds
+let messages_sent t = t.meters.sent
+let messages_bounced t = t.meters.bounced
+let messages_dropped t = t.meters.dropped
 let metrics t = t.metrics
 
 let reset_counters t =
-  List.iter (fun k -> Obs.Metrics.set_counter t.metrics k 0) counters
+  t.meters.rounds <- 0;
+  t.meters.sent <- 0;
+  t.meters.delivered <- 0;
+  t.meters.bounced <- 0;
+  t.meters.dropped <- 0

@@ -18,10 +18,14 @@
     The module also meters traffic: communication rounds and message
     counts, so tests can check the protocols' budgets (2 rounds for
     [A_local_fix], at most 9 for [A_local_eager]) as measurements rather
-    than assumptions.  The meters live in an {!Obs.Metrics} registry
-    (counters [net.comm_rounds], [net.sent], [net.delivered],
-    [net.bounced], [net.dropped]); the classic accessors below read it,
-    so callers that never touch [Obs] see no change. *)
+    than assumptions.  Each network carries its own private meters (the
+    accessors below), and additionally mirrors every increment into an
+    {!Obs.Metrics} registry (counters [net.comm_rounds], [net.sent],
+    [net.delivered], [net.bounced], [net.dropped]) for telemetry.  The
+    accessors never read the registry: the registry may be the ambient
+    one, shared by every network in the process — including networks
+    running concurrently in other domains under the job runner — so
+    budget accounting must come from the per-instance meters. *)
 
 type 'a message = {
   sender : int;      (** request id (or any sender key for priorities) *)
@@ -50,11 +54,11 @@ val create : n:int -> capacity:int ->
     the paper.  [loss_rng] seeds the drop coin (fresh seed 0 if
     omitted).
 
-    [metrics] is the registry the traffic counters live in; when
-    omitted the ambient registry ({!Obs.Metrics.set_ambient}) is used
-    if set, else a fresh private one.  Networks sharing a registry
-    aggregate their counters (and {!reset_counters} zeroes the shared
-    ones).
+    [metrics] is the registry the traffic counters are mirrored into;
+    when omitted the ambient registry ({!Obs.Metrics.set_ambient}) is
+    used if set, else a fresh private one.  Networks sharing a registry
+    aggregate their counters there; each network's own meters (the
+    accessors below) stay private to it.
     @raise Invalid_argument if [n < 1], [capacity < 1] or
     [loss] is outside [\[0, 1\]]. *)
 
@@ -86,7 +90,8 @@ val messages_dropped : t -> int
 (** The loss-injected subset of the bounces. *)
 
 val metrics : t -> Obs.Metrics.t
-(** The registry holding this network's counters. *)
+(** The registry this network's counters are mirrored into. *)
 
 val reset_counters : t -> unit
-(** Zero the [net.*] counters in this network's registry. *)
+(** Zero this network's private meters.  The metrics registry is
+    untouched: it is cumulative telemetry, possibly shared. *)

@@ -1,0 +1,476 @@
+module Rat = Prelude.Rat
+
+(* ------------------------------------------------------------------ *)
+(* values and their bit-exact line serialisation *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Rat of Rat.t
+  | Str of string
+  | List of value list
+
+(* floats print in hexadecimal notation: every bit pattern (including
+   -0., subnormals, nan and the infinities) survives the round trip,
+   which is what lets the determinism suite compare runs byte-wise *)
+let rec add_value buf = function
+  | Int i ->
+    Buffer.add_string buf "i ";
+    Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "f %h" f)
+  | Bool b -> Buffer.add_string buf (if b then "b 1" else "b 0")
+  | Rat r ->
+    Buffer.add_string buf (Printf.sprintf "r %d %d" (Rat.num r) (Rat.den r))
+  | Str s ->
+    let e = String.escaped s in
+    Buffer.add_string buf (Printf.sprintf "s %d:%s" (String.length e) e)
+  | List vs ->
+    Buffer.add_string buf (Printf.sprintf "l %d" (List.length vs));
+    List.iter
+      (fun v ->
+         Buffer.add_char buf ' ';
+         add_value buf v)
+      vs
+
+let value_to_string v =
+  let buf = Buffer.create 64 in
+  add_value buf v;
+  Buffer.contents buf
+
+exception Parse of string
+
+let value_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse msg) in
+  let space () =
+    if !pos < n && s.[!pos] = ' ' then incr pos else fail "expected space"
+  in
+  let token () =
+    let start = !pos in
+    while !pos < n && s.[!pos] <> ' ' do incr pos done;
+    if !pos = start then fail "empty token";
+    String.sub s start (!pos - start)
+  in
+  let int_token () =
+    match int_of_string_opt (token ()) with
+    | Some i -> i
+    | None -> fail "bad int"
+  in
+  let rec value () =
+    match token () with
+    | "i" ->
+      space ();
+      Int (int_token ())
+    | "f" -> (
+        space ();
+        match float_of_string_opt (token ()) with
+        | Some f -> Float f
+        | None -> fail "bad float")
+    | "b" -> (
+        space ();
+        match token () with
+        | "0" -> Bool false
+        | "1" -> Bool true
+        | _ -> fail "bad bool")
+    | "r" ->
+      space ();
+      let a = int_token () in
+      space ();
+      let b = int_token () in
+      if b = 0 then fail "zero denominator";
+      Rat (Rat.make a b)
+    | "s" ->
+      space ();
+      let start = !pos in
+      while !pos < n && s.[!pos] <> ':' do incr pos done;
+      if !pos >= n then fail "unterminated string length";
+      let len =
+        match int_of_string_opt (String.sub s start (!pos - start)) with
+        | Some l when l >= 0 -> l
+        | Some _ | None -> fail "bad string length"
+      in
+      incr pos;
+      if !pos + len > n then fail "truncated string";
+      let e = String.sub s !pos len in
+      pos := !pos + len;
+      (match Scanf.unescaped e with
+       | u -> Str u
+       | exception _ -> fail "bad escape")
+    | "l" ->
+      space ();
+      let k = int_token () in
+      if k < 0 then fail "bad list length";
+      let rec elems i acc =
+        if i = k then List.rev acc
+        else begin
+          space ();
+          let v = value () in
+          elems (i + 1) (v :: acc)
+        end
+      in
+      List (elems 0 [])
+    | t -> fail ("unknown tag " ^ t)
+  in
+  match
+    let v = value () in
+    if !pos <> n then fail "trailing bytes";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+  | exception Rat.Overflow -> Error "rational overflow"
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* jobs, failures, outcomes *)
+
+type job = {
+  name : string;
+  params : (string * string) list;
+  compute : attempt:int -> value;
+}
+
+let job ~name ?(params = []) compute = { name; params; compute }
+
+type failure = {
+  family : string;
+  name : string;
+  attempts : int;
+  message : string;
+  backtrace : string;
+}
+
+type outcome = Done of value | Failed of failure
+
+let shape family name =
+  {
+    family;
+    name;
+    attempts = 0;
+    message = "result shape mismatch";
+    backtrace = "";
+  }
+
+let float_value = function Done (Float f) -> f | _ -> nan
+let int_value = function Done (Int i) -> i | _ -> min_int
+let bool_value = function Done (Bool b) -> b | _ -> false
+
+let rat_value = function Done (Rat r) -> r | _ -> Rat.make 0 1
+
+let list_value = function Done (List vs) -> vs | _ -> []
+
+let nth o i =
+  match o with
+  | Failed _ -> o
+  | Done (List vs) -> (
+      match List.nth_opt vs i with
+      | Some v -> Done v
+      | None -> Failed (shape "" (Printf.sprintf "nth %d" i)))
+  | Done _ -> Failed (shape "" (Printf.sprintf "nth %d" i))
+
+let cell o f = match o with Done v -> f v | Failed _ -> "FAILED"
+
+(* ------------------------------------------------------------------ *)
+(* content keys *)
+
+let cache_format_version = 1
+
+(* part of every key: bump when a job with unchanged parameters starts
+   meaning a different computation, so stale cache dirs read as misses *)
+let semantic_version = 1
+
+let key_string ~family ~shared ~name ~params =
+  Printf.sprintf "v%d %s/%s?%s" semantic_version family name
+    (String.concat "&"
+       (List.map (fun (k, v) -> k ^ "=" ^ v) (params @ shared)))
+
+let key_digest ~family ?(shared = []) ~name ~params () =
+  Digest.to_hex (Digest.string (key_string ~family ~shared ~name ~params))
+
+(* ------------------------------------------------------------------ *)
+(* the on-disk cache *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let tmp_counter = Atomic.make 0
+
+(* torn-write safety: each writer builds the whole entry under a name
+   unique to (process, domain, sequence) and publishes it with a single
+   rename, so readers and concurrent writers of the same key only ever
+   see complete entries (last writer wins) *)
+let write_cache ~dir ~path ~key v =
+  let payload = value_to_string v in
+  let contents =
+    Printf.sprintf "reqsched-jobcache %d\nkey %s\nmd5 %s\nval %s\n"
+      cache_format_version (String.escaped key)
+      (Digest.to_hex (Digest.string payload))
+      payload
+  in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".tmp-%s-%d-%d-%d"
+         (Filename.basename path)
+         (Unix.getpid ())
+         (Domain.self () :> int)
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  let oc = open_out_bin tmp in
+  (match output_string oc contents with
+   | () -> close_out oc
+   | exception e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+type cache_read = Hit of value | Miss | Corrupt
+
+let read_cache ~key path =
+  if not (Sys.file_exists path) then Miss
+  else
+    match
+      let ic = open_in_bin path in
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+             let rec go acc =
+               match input_line ic with
+               | l -> go (l :: acc)
+               | exception End_of_file -> List.rev acc
+             in
+             go [])
+      in
+      match lines with
+      | version :: key_line :: md5_line :: val_line :: _ ->
+        let strip prefix l =
+          let pl = String.length prefix in
+          if String.length l >= pl && String.sub l 0 pl = prefix then
+            Some (String.sub l pl (String.length l - pl))
+          else None
+        in
+        if
+          version
+          <> Printf.sprintf "reqsched-jobcache %d" cache_format_version
+        then Corrupt (* stale or foreign format *)
+        else (
+          match
+            (strip "key " key_line, strip "md5 " md5_line,
+             strip "val " val_line)
+          with
+          | Some k, Some md5, Some payload
+            when k = String.escaped key
+                 && md5 = Digest.to_hex (Digest.string payload) -> (
+              match value_of_string payload with
+              | Ok v -> Hit v
+              | Error _ -> Corrupt)
+          | _ -> Corrupt)
+      | _ -> Corrupt (* truncated *)
+    with
+    | r -> r
+    | exception _ -> Corrupt
+
+(* ------------------------------------------------------------------ *)
+(* the runner *)
+
+type stats = {
+  total : int;
+  executed : int;
+  cache_hits : int;
+  corrupt : int;
+  failed : int;
+  retried : int;
+}
+
+type ctx = {
+  domains : int option;
+  cache_dir : string option;
+  resume : bool;
+  retries : int;
+  metrics : Obs.Metrics.t option;
+  mutable st : stats;
+  mutable fails : failure list; (* newest first *)
+  mutable busy : float;         (* seconds inside map batches *)
+}
+
+let create ?domains ?cache_dir ?(resume = false) ?(retries = 0) ?metrics ()
+  =
+  (* failure reports without backtraces are not actionable *)
+  Printexc.record_backtrace true;
+  Option.iter mkdir_p cache_dir;
+  {
+    domains = Option.map (max 1) domains;
+    cache_dir;
+    resume;
+    retries = max 0 retries;
+    metrics;
+    st =
+      {
+        total = 0;
+        executed = 0;
+        cache_hits = 0;
+        corrupt = 0;
+        failed = 0;
+        retried = 0;
+      };
+    fails = [];
+    busy = 0.0;
+  }
+
+let local () = create ()
+
+type exec_result = {
+  out : outcome;
+  hit : bool;
+  was_corrupt : bool;
+  attempts_used : int; (* 0 on a cache hit *)
+}
+
+let exec ctx ~family ~shared (j : job) =
+  let key = key_string ~family ~shared ~name:j.name ~params:j.params in
+  let path =
+    Option.map
+      (fun dir ->
+         Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".job"))
+      ctx.cache_dir
+  in
+  let cached =
+    match path with
+    | Some p when ctx.resume -> read_cache ~key p
+    | Some _ | None -> Miss
+  in
+  match cached with
+  | Hit v -> { out = Done v; hit = true; was_corrupt = false; attempts_used = 0 }
+  | (Miss | Corrupt) as c ->
+    let was_corrupt = c = Corrupt in
+    let rec go attempt =
+      match j.compute ~attempt with
+      | v ->
+        (match (ctx.cache_dir, path) with
+         | Some dir, Some p ->
+           (* the cache is best-effort: a full disk must not fail the job *)
+           (try write_cache ~dir ~path:p ~key v with _ -> ())
+         | _ -> ());
+        { out = Done v; hit = false; was_corrupt; attempts_used = attempt + 1 }
+      | exception e ->
+        let bt = Printexc.get_backtrace () in
+        if attempt < ctx.retries then go (attempt + 1)
+        else
+          {
+            out =
+              Failed
+                {
+                  family;
+                  name = j.name;
+                  attempts = attempt + 1;
+                  message = Printexc.to_string e;
+                  backtrace = bt;
+                };
+            hit = false;
+            was_corrupt;
+            attempts_used = attempt + 1;
+          }
+    in
+    go 0
+
+let map ctx ~family ?(shared = []) jobs =
+  let metrics = Obs.Metrics.resolve ctx.metrics in
+  let t0 = Obs.Span.now () in
+  let results =
+    Obs.Instrument.parmap_map ?metrics ?domains:ctx.domains
+      (exec ctx ~family ~shared)
+      jobs
+  in
+  ctx.busy <- ctx.busy +. Float.max 0.0 (Obs.Span.now () -. t0);
+  (* fold statistics in the submitting domain, after the join: the
+     counters stay deterministic and the workers share nothing mutable *)
+  let d =
+    List.fold_left
+      (fun s r ->
+         (match r.out with
+          | Failed f -> ctx.fails <- f :: ctx.fails
+          | Done _ -> ());
+         {
+           total = s.total + 1;
+           executed = s.executed + (if r.hit then 0 else 1);
+           cache_hits = s.cache_hits + (if r.hit then 1 else 0);
+           corrupt = s.corrupt + (if r.was_corrupt then 1 else 0);
+           failed =
+             (s.failed + match r.out with Failed _ -> 1 | Done _ -> 0);
+           retried = s.retried + max 0 (r.attempts_used - 1);
+         })
+      { total = 0; executed = 0; cache_hits = 0; corrupt = 0; failed = 0;
+        retried = 0 }
+      results
+  in
+  ctx.st <-
+    {
+      total = ctx.st.total + d.total;
+      executed = ctx.st.executed + d.executed;
+      cache_hits = ctx.st.cache_hits + d.cache_hits;
+      corrupt = ctx.st.corrupt + d.corrupt;
+      failed = ctx.st.failed + d.failed;
+      retried = ctx.st.retried + d.retried;
+    };
+  (match metrics with
+   | None -> ()
+   | Some m ->
+     let incr name by = if by > 0 then Obs.Metrics.incr ~by m name in
+     incr "jobs.total" d.total;
+     incr "jobs.executed" d.executed;
+     incr "jobs.cache_hits" d.cache_hits;
+     incr "jobs.corrupt" d.corrupt;
+     incr "jobs.failed" d.failed;
+     incr "jobs.retried" d.retried);
+  List.map (fun r -> r.out) results
+
+let stats ctx = ctx.st
+let failures ctx = List.rev ctx.fails
+
+let hit_rate st =
+  let looked = st.cache_hits + st.executed in
+  if looked = 0 then 0.0
+  else float_of_int st.cache_hits /. float_of_int looked
+
+let summary ctx =
+  let s = ctx.st in
+  Printf.sprintf
+    "jobs: total=%d executed=%d cache-hits=%d corrupt=%d failed=%d \
+     retried=%d hit-rate=%.1f%%"
+    s.total s.executed s.cache_hits s.corrupt s.failed s.retried
+    (100.0 *. hit_rate s)
+
+let render_failures ctx =
+  match failures ctx with
+  | [] -> ""
+  | fs ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun f ->
+         Buffer.add_string buf
+           (Printf.sprintf "FAILED %s/%s after %d attempt%s: %s\n" f.family
+              f.name f.attempts
+              (if f.attempts = 1 then "" else "s")
+              f.message);
+         if f.backtrace <> "" then begin
+           String.split_on_char '\n' f.backtrace
+           |> List.iter (fun l ->
+               if l <> "" then Buffer.add_string buf ("  | " ^ l ^ "\n"))
+         end)
+      fs;
+    Buffer.contents buf
+
+let finish ctx =
+  match Obs.Metrics.resolve ctx.metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.set m "jobs.cache_hit_rate" (hit_rate ctx.st);
+    Obs.Metrics.set m "jobs.busy_s" ctx.busy;
+    Obs.Metrics.set m "jobs.per_sec"
+      (if ctx.busy > 0.0 then float_of_int ctx.st.total /. ctx.busy else 0.0)

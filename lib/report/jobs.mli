@@ -1,0 +1,167 @@
+(** Parallel, cached, fault-isolated experiment job runner.
+
+    Every quantitative claim the report regenerates decomposes into
+    independent {e jobs} — one deterministic computation per (family ×
+    case parameters × seed) — and every experiment family enumerates its
+    jobs through {!map} instead of running them inline.  The runner
+    gives three things the inline loops never had:
+
+    - {b parallelism}: batches fan out over OCaml 5 domains via
+      {!Prelude.Parmap} (through {!Obs.Instrument}, so per-domain
+      utilisation lands in the metrics registry), preserving input
+      order, so any domain count produces byte-identical output;
+    - {b fault isolation}: a job that raises is recorded as a
+      {!failure} (exception text, backtrace, attempt count) and
+      optionally retried — it never aborts the rest of the battery;
+    - {b caching}: results are written to an on-disk content-addressed
+      cache (atomic tmp+rename, format-versioned, corrupt or stale
+      entries detected and recomputed) keyed by the job's full
+      parameter set, so [--resume] skips everything a previous —
+      possibly killed — run already completed.
+
+    Results are {!value} trees with a bit-exact textual serialisation
+    (floats round-trip through hexadecimal notation), which is both the
+    cache payload and the byte-identity witness of the determinism
+    test-suite. *)
+
+(** {2 Result values} *)
+
+type value =
+  | Int of int
+  | Float of float          (** serialised as [%h]: bit-exact, NaN/inf safe *)
+  | Bool of bool
+  | Rat of Prelude.Rat.t
+  | Str of string
+  | List of value list
+
+val value_to_string : value -> string
+(** Single-line, bit-exact serialisation (the cache payload). *)
+
+val value_of_string : string -> (value, string) result
+(** Inverse of {!value_to_string}; [Error] on any malformed input
+    (never raises — a corrupt cache entry must look like a miss). *)
+
+(** {2 Jobs and outcomes} *)
+
+type job
+(** A named deterministic computation.  The name and parameter list are
+    the job's identity: two jobs with the same family, name and
+    parameters are assumed to compute the same value (that assumption
+    is what makes the cache content-addressed). *)
+
+val job : name:string -> ?params:(string * string) list ->
+  (attempt:int -> value) -> job
+(** [job ~name ~params compute] — [compute ~attempt] receives the
+    0-based attempt number so fault-injection tests can model faults
+    that clear on retry.  [compute] must not depend on ambient mutable
+    state: it may run on any domain, in any interleaving, or not at all
+    (cache hit). *)
+
+type failure = {
+  family : string;
+  name : string;
+  attempts : int;    (** how many times the job was tried *)
+  message : string;  (** [Printexc.to_string] of the last exception *)
+  backtrace : string;
+}
+
+type outcome = Done of value | Failed of failure
+
+(** Safe accessors: the failure (or wrong-shape) fallbacks are chosen so
+    that every downstream check comparing against a bound fails loudly
+    rather than raising — a failed job must never abort assembly. *)
+
+val float_value : outcome -> float
+(** [nan] on failure. *)
+
+val int_value : outcome -> int
+(** [min_int] on failure. *)
+
+val bool_value : outcome -> bool
+(** [false] on failure. *)
+
+val rat_value : outcome -> Prelude.Rat.t
+(** [0/1] on failure. *)
+
+val list_value : outcome -> value list
+(** [[]] on failure. *)
+
+val nth : outcome -> int -> outcome
+(** Project element [i] out of a [List] outcome; a failure or shape
+    mismatch propagates as [Failed]. *)
+
+val cell : outcome -> (value -> string) -> string
+(** Table-cell rendering: [f v] on success, ["FAILED"] otherwise. *)
+
+(** {2 The runner} *)
+
+type ctx
+(** Runner configuration plus accumulated statistics and failures,
+    shared by every {!map} batch of one battery run. *)
+
+val create :
+  ?domains:int ->
+  ?cache_dir:string ->
+  ?resume:bool ->
+  ?retries:int ->
+  ?metrics:Obs.Metrics.t ->
+  unit -> ctx
+(** [domains]: worker domains, [1] = serial (default
+    {!Prelude.Parmap.recommended_domains}).  [cache_dir]: enable the
+    on-disk cache (directory created on demand); results are always
+    written when set.  [resume]: also read cached results before
+    computing (default false).  [retries]: extra attempts per failing
+    job (default 0).  [metrics]: registry for the [jobs.*] counters and
+    gauges (default: the ambient registry, resolved at each batch). *)
+
+val local : unit -> ctx
+(** [create ()] — the in-process default used by the test-suite and any
+    caller that predates the runner: parallel, uncached, no retries. *)
+
+val map : ctx -> family:string -> ?shared:(string * string) list ->
+  job list -> outcome list
+(** Run one batch.  [shared] parameters are appended to every job's key
+    (battery-wide settings such as [quick]).  Order of outcomes matches
+    order of jobs regardless of the domain count.  Never raises on job
+    failure; failures accumulate in the ctx ({!failures}). *)
+
+type stats = {
+  total : int;        (** jobs submitted *)
+  executed : int;     (** jobs actually computed (≥ 1 attempt) *)
+  cache_hits : int;   (** jobs answered from the cache *)
+  corrupt : int;      (** cache entries rejected (truncated / bad digest / stale version) *)
+  failed : int;       (** jobs whose last attempt raised *)
+  retried : int;      (** extra attempts consumed *)
+}
+
+val stats : ctx -> stats
+val failures : ctx -> failure list
+(** In submission order. *)
+
+val hit_rate : stats -> float
+(** [cache_hits / (cache_hits + executed)]; [0.] when nothing ran. *)
+
+val summary : ctx -> string
+(** One line, deterministic (no wall-clock content):
+    ["jobs: total=18 executed=0 cache-hits=18 corrupt=0 failed=0 retried=0 hit-rate=100.0%"]. *)
+
+val render_failures : ctx -> string
+(** Multi-line failure report with backtraces; [""] when none. *)
+
+val finish : ctx -> unit
+(** Flush the run-level gauges ([jobs.cache_hit_rate], [jobs.per_sec],
+    [jobs.busy_s]) to the metrics registry.  Counters
+    ([jobs.total], [jobs.executed], [jobs.cache_hits], [jobs.corrupt],
+    [jobs.failed], [jobs.retried]) are recorded live by {!map}. *)
+
+(** {2 Cache internals exposed for the robustness tests} *)
+
+val cache_format_version : int
+val semantic_version : int
+(** Bumped when the meaning of a job key changes; part of every key, so
+    old cache directories read as misses rather than wrong answers. *)
+
+val key_digest : family:string -> ?shared:(string * string) list ->
+  name:string -> params:(string * string) list -> unit -> string
+(** Hex digest naming the cache entry: [<digest>.job] under the cache
+    directory. *)

@@ -1,0 +1,599 @@
+(* The job-runner battery: determinism across domain counts, fault
+   isolation (with retries), and cache robustness under truncation,
+   corruption, version skew and concurrent writers — plus the golden
+   snapshot of the quick Table 1 summary. *)
+
+module Jobs = Report.Jobs
+
+(* ------------------------------------------------------------------ *)
+(* scratch cache directories *)
+
+let dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "reqsched-test-jobcache-%d-%d" (Unix.getpid ())
+         !dir_counter)
+  in
+  (* a stale directory from a killed earlier run must not leak entries
+     into this one *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  dir
+
+let remove_cache_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let with_cache_dir f =
+  let dir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> remove_cache_dir dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* value serialisation: bit-exact round trip *)
+
+let rec equal_value a b =
+  match (a, b) with
+  | Jobs.Int x, Jobs.Int y -> x = y
+  | Jobs.Bool x, Jobs.Bool y -> x = y
+  | Jobs.Str x, Jobs.Str y -> x = y
+  | Jobs.Rat x, Jobs.Rat y -> Prelude.Rat.equal x y
+  | Jobs.Float x, Jobs.Float y ->
+    (* [%h] keeps every finite/infinite bit pattern; nan payloads
+       collapse to one canonical nan, which is still nan *)
+    (Float.is_nan x && Float.is_nan y)
+    || Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Jobs.List xs, Jobs.List ys ->
+    List.length xs = List.length ys && List.for_all2 equal_value xs ys
+  | _ -> false
+
+let value_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        map (fun i -> Jobs.Int i) int;
+        map (fun f -> Jobs.Float f) float;
+        map (fun b -> Jobs.Bool b) bool;
+        map2
+          (fun n d -> Jobs.Rat (Prelude.Rat.make n (max 1 d)))
+          (int_range (-1000) 1000) (int_range 1 1000);
+        map (fun s -> Jobs.Str s) (string_size (int_bound 20));
+        oneofl
+          [
+            Jobs.Float nan;
+            Jobs.Float infinity;
+            Jobs.Float neg_infinity;
+            Jobs.Float (-0.0);
+            Jobs.Float 0x1.fffffffffffffp+1023;
+            Jobs.Float 0x0.0000000000001p-1022;
+            Jobs.Str "colon:and space and \n newline \196\159";
+            Jobs.Str "";
+          ];
+      ]
+  in
+  sized @@ fix (fun self -> function
+    | 0 -> base
+    | n ->
+      frequency
+        [
+          (3, base);
+          ( 1,
+            map
+              (fun vs -> Jobs.List vs)
+              (list_size (int_bound 4) (self (n / 2))) );
+        ])
+
+let value_arb =
+  QCheck.make value_gen ~print:(fun v -> Jobs.value_to_string v)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"value round-trips bit-exactly" ~count:500 value_arb
+    (fun v ->
+       match Jobs.value_of_string (Jobs.value_to_string v) with
+       | Ok v' -> equal_value v v'
+       | Error _ -> false)
+
+let prop_no_trailing_bytes =
+  QCheck.Test.make ~name:"trailing bytes are rejected" ~count:200 value_arb
+    (fun v ->
+       match Jobs.value_of_string (Jobs.value_to_string v ^ " i 1") with
+       | Ok _ -> false
+       | Error _ -> true)
+
+let test_of_string_never_raises () =
+  List.iter
+    (fun s ->
+       match Jobs.value_of_string s with
+       | Ok _ | Error _ -> ())
+    [
+      ""; " "; "i"; "i "; "i x"; "f"; "f zz"; "b 2"; "r 1 0"; "r 1";
+      "s 5:ab"; "s -1:"; "s 9999999999999999999999:x"; "l 3 i 1"; "l -1";
+      "q 7"; "s 2:\\q"; "l 1 l 1 l 1 i"; "r 4611686018427387904 3";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* determinism: any domain count, byte-identical outcomes in order *)
+
+(* a deterministic value mixer: the job's result depends only on its
+   index, never on domain, timing or interleaving *)
+let mixed_value i =
+  let h = (i * 2654435761) land 0x3FFFFFFF in
+  Jobs.List
+    [
+      Jobs.Int h;
+      Jobs.Float (Float.of_int h /. 7.0);
+      Jobs.Bool (h land 1 = 1);
+      Jobs.Rat (Prelude.Rat.make h (1 + (h mod 97)));
+      Jobs.Str (Printf.sprintf "job-%d" i);
+    ]
+
+let battery_jobs n =
+  List.init n (fun i ->
+      Jobs.job
+        ~name:(Printf.sprintf "case-%d" i)
+        ~params:[ ("i", string_of_int i) ]
+        (fun ~attempt:_ -> mixed_value i))
+
+let run_battery ~domains n =
+  let ctx = Jobs.create ~domains () in
+  let outcomes = Jobs.map ctx ~family:"det" (battery_jobs n) in
+  List.map
+    (function
+      | Jobs.Done v -> Jobs.value_to_string v
+      | Jobs.Failed f -> "FAILED " ^ f.Jobs.name)
+    outcomes
+
+let prop_determinism =
+  QCheck.Test.make ~name:"parallel runner is byte-identical to serial"
+    ~count:30
+    QCheck.(int_range 0 40)
+    (fun n ->
+       let serial = run_battery ~domains:1 n in
+       let two = run_battery ~domains:2 n in
+       let many =
+         run_battery ~domains:(Prelude.Parmap.recommended_domains ()) n
+       in
+       serial = two && serial = many)
+
+(* ------------------------------------------------------------------ *)
+(* fault isolation *)
+
+exception Boom of int
+
+(* the shape of a strategy factory that blows up at construction time:
+   the sweep must complete around it *)
+let raising_factory () : unit -> int = failwith "strategy factory raised"
+
+let test_failing_job_is_isolated () =
+  let ctx = Jobs.create ~domains:2 () in
+  let jobs =
+    [
+      Jobs.job ~name:"good-1" (fun ~attempt:_ -> Jobs.Int 1);
+      Jobs.job ~name:"bad-factory" (fun ~attempt:_ ->
+          let f = raising_factory () in
+          Jobs.Int (f ()));
+      Jobs.job ~name:"good-2" (fun ~attempt:_ -> Jobs.Int 2);
+    ]
+  in
+  match Jobs.map ctx ~family:"fault" jobs with
+  | [ a; b; c ] ->
+    Alcotest.check Alcotest.int "first survives" 1 (Jobs.int_value a);
+    Alcotest.check Alcotest.int "last survives" 2 (Jobs.int_value c);
+    (match b with
+     | Jobs.Failed f ->
+       Alcotest.check Alcotest.string "family recorded" "fault"
+         f.Jobs.family;
+       Alcotest.check Alcotest.string "name recorded" "bad-factory"
+         f.Jobs.name;
+       Alcotest.check Alcotest.int "one attempt" 1 f.Jobs.attempts;
+       Alcotest.check Alcotest.bool "message mentions the exception" true
+         (contains ~needle:"factory" f.Jobs.message)
+     | Jobs.Done _ -> Alcotest.fail "raising job reported Done");
+    let st = Jobs.stats ctx in
+    Alcotest.check Alcotest.int "failed counted" 1 st.Jobs.failed;
+    Alcotest.check Alcotest.int "all executed" 3 st.Jobs.executed;
+    let report = Jobs.render_failures ctx in
+    Alcotest.check Alcotest.bool "failure report names the job" true
+      (contains ~needle:"fault/bad-factory" report)
+  | _ -> Alcotest.fail "outcome arity"
+
+let test_seed_specific_failure () =
+  let ctx = Jobs.create ~domains:2 () in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let outcomes =
+    Jobs.map ctx ~family:"fault"
+      (List.map
+         (fun seed ->
+            Jobs.job
+              ~name:(Printf.sprintf "seed-%d" seed)
+              ~params:[ ("seed", string_of_int seed) ]
+              (fun ~attempt:_ ->
+                 if seed = 3 then raise (Boom seed) else Jobs.Int (seed * 10)))
+         seeds)
+  in
+  List.iter2
+    (fun seed o ->
+       match (seed = 3, o) with
+       | true, Jobs.Failed f ->
+         Alcotest.check Alcotest.int "failing seed attempts" 1 f.Jobs.attempts
+       | true, Jobs.Done _ -> Alcotest.fail "seed 3 must fail"
+       | false, Jobs.Done _ ->
+         Alcotest.check Alcotest.int "value" (seed * 10) (Jobs.int_value o)
+       | false, Jobs.Failed _ ->
+         Alcotest.fail (Printf.sprintf "seed %d must succeed" seed))
+    seeds outcomes;
+  Alcotest.check Alcotest.int "exactly one failure" 1
+    (List.length (Jobs.failures ctx))
+
+let flaky_job =
+  (* deterministic-after-retry: the first attempt raises, the second
+     succeeds — the fault model of a transient resource error *)
+  Jobs.job ~name:"flaky" (fun ~attempt ->
+      if attempt = 0 then failwith "transient" else Jobs.Int 7)
+
+let test_retry_recovers_flaky_job () =
+  let no_retry = Jobs.create ~domains:1 () in
+  (match Jobs.map no_retry ~family:"fault" [ flaky_job ] with
+   | [ Jobs.Failed f ] ->
+     Alcotest.check Alcotest.int "attempts without retry" 1 f.Jobs.attempts
+   | _ -> Alcotest.fail "without retries the flaky job must fail");
+  let retry = Jobs.create ~domains:1 ~retries:1 () in
+  (match Jobs.map retry ~family:"fault" [ flaky_job ] with
+   | [ o ] -> Alcotest.check Alcotest.int "recovered value" 7 (Jobs.int_value o)
+   | _ -> Alcotest.fail "arity");
+  let st = Jobs.stats retry in
+  Alcotest.check Alcotest.int "retry counted" 1 st.Jobs.retried;
+  Alcotest.check Alcotest.int "no failure recorded" 0 st.Jobs.failed
+
+(* ------------------------------------------------------------------ *)
+(* the cache *)
+
+let tricky_values =
+  [
+    Jobs.Float nan;
+    Jobs.Float (-0.0);
+    Jobs.Float infinity;
+    Jobs.Str "line\nbreak:and 2:colons";
+    Jobs.List [ Jobs.Rat (Prelude.Rat.make 22 7); Jobs.Bool false ];
+    Jobs.Int min_int;
+  ]
+
+let tricky_jobs ~poison =
+  List.mapi
+    (fun i v ->
+       Jobs.job
+         ~name:(Printf.sprintf "tricky-%d" i)
+         (fun ~attempt:_ -> if poison then failwith "recomputed!" else v))
+    tricky_values
+
+let cache_path ~dir ~name =
+  Filename.concat dir (Jobs.key_digest ~family:"cache" ~name ~params:[] () ^ ".job")
+
+let test_cache_roundtrip_bit_exact () =
+  with_cache_dir @@ fun dir ->
+  let writer = Jobs.create ~domains:2 ~cache_dir:dir ~resume:true () in
+  let first = Jobs.map writer ~family:"cache" (tricky_jobs ~poison:false) in
+  Alcotest.check Alcotest.int "first run computes everything"
+    (List.length tricky_values)
+    (Jobs.stats writer).Jobs.executed;
+  (* second ctx: every compute raises, so any value that comes back can
+     only have come from the cache — and must be bit-identical *)
+  let reader = Jobs.create ~domains:2 ~cache_dir:dir ~resume:true () in
+  let second = Jobs.map reader ~family:"cache" (tricky_jobs ~poison:true) in
+  let st = Jobs.stats reader in
+  Alcotest.check Alcotest.int "all hits" (List.length tricky_values)
+    st.Jobs.cache_hits;
+  Alcotest.check Alcotest.int "nothing recomputed" 0 st.Jobs.executed;
+  Alcotest.check (Alcotest.float 1e-9) "hit rate" 1.0 (Jobs.hit_rate st);
+  List.iter2
+    (fun a b ->
+       match (a, b) with
+       | Jobs.Done va, Jobs.Done vb ->
+         Alcotest.check Alcotest.bool "bit-exact" true (equal_value va vb);
+         Alcotest.check Alcotest.string "byte-exact" (Jobs.value_to_string va)
+           (Jobs.value_to_string vb)
+       | _ -> Alcotest.fail "cache read failed")
+    first second
+
+(* without --resume the cache is written but never read *)
+let test_cache_write_without_resume () =
+  with_cache_dir @@ fun dir ->
+  let ctx = Jobs.create ~domains:1 ~cache_dir:dir () in
+  ignore (Jobs.map ctx ~family:"cache" (tricky_jobs ~poison:false));
+  Alcotest.check Alcotest.int "no reads" 0 (Jobs.stats ctx).Jobs.cache_hits;
+  Alcotest.check Alcotest.bool "entries written" true
+    (Array.length (Sys.readdir dir) = List.length tricky_values);
+  let again = Jobs.create ~domains:1 ~cache_dir:dir () in
+  ignore (Jobs.map again ~family:"cache" (tricky_jobs ~poison:false));
+  Alcotest.check Alcotest.int "still no reads" 0
+    (Jobs.stats again).Jobs.cache_hits;
+  Alcotest.check Alcotest.int "recomputed" (List.length tricky_values)
+    (Jobs.stats again).Jobs.executed
+
+let damage_then_recompute ~label damage =
+  with_cache_dir @@ fun dir ->
+  let seed_job = [ Jobs.job ~name:"victim" (fun ~attempt:_ -> Jobs.Int 42) ] in
+  let writer = Jobs.create ~domains:1 ~cache_dir:dir ~resume:true () in
+  ignore (Jobs.map writer ~family:"cache" seed_job);
+  let path = cache_path ~dir ~name:"victim" in
+  Alcotest.check Alcotest.bool (label ^ ": entry exists") true
+    (Sys.file_exists path);
+  damage path;
+  let reader = Jobs.create ~domains:1 ~cache_dir:dir ~resume:true () in
+  (match Jobs.map reader ~family:"cache" seed_job with
+   | [ o ] ->
+     Alcotest.check Alcotest.int (label ^ ": recomputed value") 42
+       (Jobs.int_value o)
+   | _ -> Alcotest.fail "arity");
+  let st = Jobs.stats reader in
+  Alcotest.check Alcotest.int (label ^ ": detected as corrupt") 1
+    st.Jobs.corrupt;
+  Alcotest.check Alcotest.int (label ^ ": recomputed, not crashed") 1
+    st.Jobs.executed;
+  Alcotest.check Alcotest.int (label ^ ": no hit") 0 st.Jobs.cache_hits;
+  (* the recompute repaired the entry *)
+  let healed = Jobs.create ~domains:1 ~cache_dir:dir ~resume:true () in
+  ignore (Jobs.map healed ~family:"cache" seed_job);
+  Alcotest.check Alcotest.int (label ^ ": healed") 1
+    (Jobs.stats healed).Jobs.cache_hits
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_cache_truncated () =
+  damage_then_recompute ~label:"truncated" (fun path ->
+      let s = read_file path in
+      write_file path (String.sub s 0 (String.length s / 2)))
+
+let test_cache_corrupted () =
+  damage_then_recompute ~label:"corrupted" (fun path ->
+      let s = read_file path in
+      (* flip the cached integer: the md5 line no longer matches *)
+      let s = Bytes.of_string s in
+      let at = Bytes.length s - 2 in
+      Bytes.set s at (if Bytes.get s at = '2' then '3' else '2');
+      write_file path (Bytes.to_string s))
+
+let test_cache_stale_version () =
+  damage_then_recompute ~label:"stale version" (fun path ->
+      match String.split_on_char '\n' (read_file path) with
+      | _version :: rest ->
+        write_file path
+          (String.concat "\n" ("reqsched-jobcache 999" :: rest))
+      | [] -> Alcotest.fail "empty cache file")
+
+let test_cache_empty_file () =
+  damage_then_recompute ~label:"empty file" (fun path -> write_file path "")
+
+let test_concurrent_writers_atomic () =
+  with_cache_dir @@ fun dir ->
+  (* many domains race to publish the same key; each write goes through
+     a private tmp file and one rename, so whichever wins, the entry is
+     complete and parseable — and no tmp litter survives *)
+  let n = 24 in
+  let same_key =
+    List.init n (fun _ ->
+        Jobs.job ~name:"contended" (fun ~attempt:_ ->
+            Jobs.Str (String.make 4096 'x')))
+  in
+  let ctx =
+    Jobs.create
+      ~domains:(Prelude.Parmap.recommended_domains ())
+      ~cache_dir:dir ()
+  in
+  ignore (Jobs.map ctx ~family:"cache" same_key);
+  let entries = Sys.readdir dir in
+  Alcotest.check Alcotest.int "exactly one published entry" 1
+    (Array.length entries);
+  Alcotest.check Alcotest.bool "no tmp litter" true
+    (Array.for_all
+       (fun f -> not (String.length f >= 4 && String.sub f 0 4 = ".tmp"))
+       entries);
+  let reader = Jobs.create ~domains:1 ~cache_dir:dir ~resume:true () in
+  match
+    Jobs.map reader ~family:"cache"
+      [
+        Jobs.job ~name:"contended" (fun ~attempt:_ ->
+            failwith "should have hit");
+      ]
+  with
+  | [ o ] ->
+    (match o with
+     | Jobs.Done (Jobs.Str s) ->
+       Alcotest.check Alcotest.int "entry intact" 4096 (String.length s)
+     | _ -> Alcotest.fail "contended entry unreadable")
+  | _ -> Alcotest.fail "arity"
+
+(* a failed job leaves no cache entry: resuming retries it *)
+let test_failure_not_cached () =
+  with_cache_dir @@ fun dir ->
+  let ctx = Jobs.create ~domains:1 ~cache_dir:dir ~resume:true () in
+  (match
+     Jobs.map ctx ~family:"cache"
+       [ Jobs.job ~name:"always-fails" (fun ~attempt:_ -> failwith "no") ]
+   with
+   | [ Jobs.Failed _ ] -> ()
+   | _ -> Alcotest.fail "must fail");
+  Alcotest.check Alcotest.int "no entry written" 0
+    (Array.length (Sys.readdir dir));
+  let again = Jobs.create ~domains:1 ~cache_dir:dir ~resume:true () in
+  match
+    Jobs.map again ~family:"cache"
+      [ Jobs.job ~name:"always-fails" (fun ~attempt:_ -> Jobs.Int 5) ]
+  with
+  | [ o ] ->
+    Alcotest.check Alcotest.int "resume reruns the failure" 5
+      (Jobs.int_value o)
+  | _ -> Alcotest.fail "arity"
+
+(* the interrupted-battery story: half the battery completes, the run
+   dies, the resumed run recomputes only the missing half *)
+let test_resume_after_partial_run () =
+  with_cache_dir @@ fun dir ->
+  let all = battery_jobs 10 in
+  let first_half = List.filteri (fun i _ -> i < 5) all in
+  let killed = Jobs.create ~domains:2 ~cache_dir:dir ~resume:true () in
+  ignore (Jobs.map killed ~family:"det" first_half);
+  let resumed = Jobs.create ~domains:2 ~cache_dir:dir ~resume:true () in
+  let outcomes = Jobs.map resumed ~family:"det" all in
+  let st = Jobs.stats resumed in
+  Alcotest.check Alcotest.int "completed jobs are not recomputed" 5
+    st.Jobs.cache_hits;
+  Alcotest.check Alcotest.int "only the missing half runs" 5 st.Jobs.executed;
+  List.iteri
+    (fun i o ->
+       Alcotest.check Alcotest.bool
+         (Printf.sprintf "job %d value survives the resume" i)
+         true
+         (match o with
+          | Jobs.Done v -> equal_value v (mixed_value i)
+          | Jobs.Failed _ -> false))
+    outcomes
+
+(* ------------------------------------------------------------------ *)
+(* accessors and summary *)
+
+let test_accessor_fallbacks () =
+  let f =
+    Jobs.Failed
+      {
+        Jobs.family = "x"; name = "y"; attempts = 1; message = "m";
+        backtrace = "";
+      }
+  in
+  Alcotest.check Alcotest.bool "float nan" true (Float.is_nan (Jobs.float_value f));
+  Alcotest.check Alcotest.int "int min" min_int (Jobs.int_value f);
+  Alcotest.check Alcotest.bool "bool false" false (Jobs.bool_value f);
+  Alcotest.check Alcotest.bool "rat zero" true
+    (Prelude.Rat.equal (Jobs.rat_value f) (Prelude.Rat.make 0 1));
+  Alcotest.check Alcotest.string "cell FAILED" "FAILED"
+    (Jobs.cell f (fun _ -> "?"));
+  (match Jobs.nth f 0 with
+   | Jobs.Failed _ -> ()
+   | Jobs.Done _ -> Alcotest.fail "nth of failure");
+  (match Jobs.nth (Jobs.Done (Jobs.Int 3)) 0 with
+   | Jobs.Failed _ -> ()
+   | Jobs.Done _ -> Alcotest.fail "nth of non-list");
+  match Jobs.nth (Jobs.Done (Jobs.List [ Jobs.Int 8 ])) 0 with
+  | Jobs.Done (Jobs.Int 8) -> ()
+  | _ -> Alcotest.fail "nth projection"
+
+let test_summary_deterministic () =
+  let run () =
+    let ctx = Jobs.create ~domains:2 () in
+    ignore (Jobs.map ctx ~family:"det" (battery_jobs 6));
+    Jobs.summary ctx
+  in
+  let a = run () and b = run () in
+  Alcotest.check Alcotest.string "summary has no wall-clock content" a b;
+  Alcotest.check Alcotest.string "summary shape"
+    "jobs: total=6 executed=6 cache-hits=0 corrupt=0 failed=0 retried=0 \
+     hit-rate=0.0%"
+    a
+
+(* ------------------------------------------------------------------ *)
+(* golden snapshot: the quick Table 1 summary *)
+
+let golden_path () =
+  (* cwd is test/ under `dune runtest` (the dep is copied next to the
+     executable) but the project root under a bare `dune exec` *)
+  List.find_opt Sys.file_exists
+    [ "golden_table1_quick.txt"; Filename.concat "test" "golden_table1_quick.txt" ]
+
+let test_golden_table1_quick () =
+  let expected =
+    match golden_path () with
+    | Some p -> read_file p
+    | None -> Alcotest.fail "golden_table1_quick.txt not found"
+  in
+  let e =
+    Report.Experiments.table1_summary ~ctx:(Jobs.local ()) ~quick:true
+  in
+  let got = Report.Experiments.render e in
+  if got <> expected then
+    Alcotest.failf
+      "Table 1 quick summary drifted from test/golden_table1_quick.txt.\n\
+       If the change is intended, regenerate with:\n\
+      \  dune exec bin/reqsched.exe -- exp T1.summary --quick | sed \
+       '/^jobs:/,$d' > test/golden_table1_quick.txt\n\
+       --- expected ---\n%s--- got ---\n%s"
+      expected got
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "jobs" ~and_exit:true
+    [
+      ( "serialisation",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_no_trailing_bytes;
+          Alcotest.test_case "malformed input never raises" `Quick
+            test_of_string_never_raises;
+        ] );
+      ( "determinism",
+        [ QCheck_alcotest.to_alcotest prop_determinism ] );
+      ( "fault isolation",
+        [
+          Alcotest.test_case "raising factory is isolated" `Quick
+            test_failing_job_is_isolated;
+          Alcotest.test_case "seed-specific failure" `Quick
+            test_seed_specific_failure;
+          Alcotest.test_case "retry recovers flaky job" `Quick
+            test_retry_recovers_flaky_job;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round trip bit-exact" `Quick
+            test_cache_roundtrip_bit_exact;
+          Alcotest.test_case "write without resume" `Quick
+            test_cache_write_without_resume;
+          Alcotest.test_case "truncated entry" `Quick test_cache_truncated;
+          Alcotest.test_case "corrupted entry" `Quick test_cache_corrupted;
+          Alcotest.test_case "stale version" `Quick test_cache_stale_version;
+          Alcotest.test_case "empty file" `Quick test_cache_empty_file;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_concurrent_writers_atomic;
+          Alcotest.test_case "failures are not cached" `Quick
+            test_failure_not_cached;
+          Alcotest.test_case "resume after partial run" `Quick
+            test_resume_after_partial_run;
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "accessor fallbacks" `Quick
+            test_accessor_fallbacks;
+          Alcotest.test_case "summary deterministic" `Quick
+            test_summary_deterministic;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "table 1 quick snapshot" `Slow
+            test_golden_table1_quick;
+        ] );
+    ]

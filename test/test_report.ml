@@ -4,7 +4,7 @@
 
 let experiment_case (id, f) =
   Alcotest.test_case id `Slow (fun () ->
-      let e = f ~quick:true in
+      let e = f ~ctx:(Report.Jobs.local ()) ~quick:true in
       List.iter
         (fun (name, ok) ->
            Alcotest.check Alcotest.bool
@@ -40,7 +40,9 @@ let contains ~needle haystack =
   go 0
 
 let test_render_contains_pass_lines () =
-  let e = Report.Experiments.t1_fix_lb ~quick:true in
+  let e =
+    Report.Experiments.t1_fix_lb ~ctx:(Report.Jobs.local ()) ~quick:true
+  in
   let s = Report.Experiments.render e in
   Alcotest.check Alcotest.bool "has PASS marker" true
     (contains ~needle:"[PASS]" s)

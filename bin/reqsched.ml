@@ -248,7 +248,7 @@ let compare_cmd =
                  string_of_int o.served;
                  string_of_int o.wasted;
                  Prelude.Texttable.cell_ratio
-                   (float_of_int opt /. float_of_int (max 1 o.served));
+                   (Report.Harness.ratio_of ~opt ~served:o.served);
                ])
         strategy_names;
       Prelude.Texttable.print table;
@@ -429,7 +429,7 @@ let sweep_cmd =
                     Report.Jobs.cell o (function
                       | Report.Jobs.Int served ->
                         Prelude.Texttable.cell_ratio
-                          (float_of_int opt /. float_of_int (max 1 served))
+                          (Report.Harness.ratio_of ~opt ~served)
                       | _ -> "?"))
                  cell_os
              in
@@ -517,6 +517,262 @@ let trace_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let addr_conv ~what =
+  let parse s =
+    match Serve.Server.addr_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Serve.Server.addr_to_string a)
+  in
+  Arg.conv ~docv:what (parse, print)
+
+let tick_ms_arg =
+  let doc =
+    "Milliseconds per scheduling round (interval ticker).  Ignored \
+     when $(b,--manual) is set."
+  in
+  Arg.(value & opt float 50.0 & info [ "tick-ms" ] ~docv:"MS" ~doc)
+
+let manual_arg =
+  let doc =
+    "Logical time: rounds advance only on wire $(b,tick) messages \
+     (deterministic replay mode).  Server and load generator must \
+     agree on this flag."
+  in
+  Arg.(value & flag & info [ "manual" ] ~doc)
+
+let serve_cmd =
+  let action listen shards n d strategy seed tick_ms manual queue_cap
+      read_timeout mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
+    (* validate the strategy name once up front; per-shard factories
+       then reseed so randomised strategies don't share one coin
+       stream across domains *)
+    match factory_of_name ~seed strategy with
+    | Error m -> `Error (false, m)
+    | Ok _ ->
+      let per_shard ~shard =
+        match factory_of_name ~seed:(seed + shard) strategy with
+        | Ok f -> f
+        | Error m -> failwith m
+      in
+      let cfg =
+        {
+          Serve.Server.addr = listen;
+          n_resources = n;
+          d;
+          shards;
+          strategy = per_shard;
+          tick = (if manual then `Manual else `Every (tick_ms /. 1000.0));
+          queue_capacity = queue_cap;
+          read_timeout;
+          name = "reqsched";
+        }
+      in
+      (match Serve.Server.start ?metrics cfg with
+       | Error m -> `Error (false, m)
+       | Ok srv ->
+         let drain _ = Serve.Server.drain srv in
+         Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+         Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+         Printf.printf
+           "serving on %s: n=%d d=%d shards=%d strategy=%s tick=%s\n%!"
+           (Serve.Server.addr_to_string listen)
+           n d
+           (Serve.Server.n_shards srv)
+           strategy
+           (if manual then "manual" else Printf.sprintf "%.0fms" tick_ms);
+         (* the signal handler only flips an atomic; poll for completion
+            from the main thread so EINTR cannot wedge a join *)
+         let rec await () =
+           if not (Serve.Server.finished srv) then begin
+             (try Unix.sleepf 0.1
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+             await ()
+           end
+         in
+         await ();
+         let snap = Serve.Server.wait srv in
+         let count name =
+           match List.assoc_opt name snap with
+           | Some (Obs.Metrics.Counter v) -> v
+           | Some _ | None -> 0
+         in
+         Printf.printf
+           "drained: served=%d expired=%d rejected=%d client_errors=%d\n"
+           (count "serve.served") (count "serve.expired")
+           (count "serve.rejected.overload"
+            + count "serve.rejected.draining"
+            + count "serve.rejected.invalid")
+           (count "serve.client_errors");
+         `Ok ())
+  in
+  let listen_arg =
+    let doc = "Listen address: tcp:HOST:PORT or unix:PATH." in
+    Arg.(value
+         & opt (addr_conv ~what:"ADDR") (Serve.Server.Tcp ("127.0.0.1", 7477))
+         & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Worker domains; the resource space is split into this many \
+       contiguous slices (clamped to [1, n])."
+    in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let queue_cap_arg =
+    let doc =
+      "Per-shard admission queue bound; a full queue rejects with \
+       $(b,overload) instead of buffering without limit."
+    in
+    Arg.(value & opt int 1024 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Idle-connection timeout in seconds (0 disables)." in
+    Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let term =
+    Term.(ret (const action $ listen_arg $ shards_arg $ n_arg $ d_arg
+               $ strategy_arg $ seed_arg $ tick_ms_arg $ manual_arg
+               $ queue_cap_arg $ read_timeout_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the live scheduling server (SIGINT/SIGTERM drain \
+          gracefully).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* load *)
+
+let load_cmd =
+  let action connect mode workload n d rounds load seed users total tick_ms
+      manual trace_in save_trace decisions_out mfmt mout =
+    with_metrics mfmt mout @@ fun _metrics ->
+    let inst =
+      match trace_in with
+      | Some path -> Sched.Codec.load ~path
+      | None -> instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed
+    in
+    match inst with
+    | Error m -> `Error (false, m)
+    | Ok inst ->
+      (match save_trace with
+       | Some path ->
+         Sched.Codec.save ~path inst;
+         Printf.printf "trace    : wrote %s\n" path
+       | None -> ());
+      let result =
+        match mode with
+        | "open" ->
+          Serve.Client.open_loop ~addr:connect ~inst
+            ~tick:(if manual then `Manual else `Every (tick_ms /. 1000.0))
+            ()
+        | "closed" ->
+          let total =
+            if total > 0 then total else Sched.Instance.n_requests inst
+          in
+          Serve.Client.closed_loop ~addr:connect ~inst ~users ~total ()
+        | other ->
+          Error (Printf.sprintf "unknown mode %S (expected open or closed)"
+                   other)
+      in
+      (match result with
+       | Error m -> `Error (false, m)
+       | Ok r ->
+         let pct k =
+           if r.Serve.Client.submitted = 0 then 0.0
+           else 100.0 *. float_of_int k /. float_of_int r.submitted
+         in
+         Printf.printf "submitted : %d\n" r.Serve.Client.submitted;
+         Printf.printf "scheduled : %d (%.1f%%)\n" r.scheduled
+           (pct r.scheduled);
+         Printf.printf "rejected  : %d (%.1f%%)\n" r.rejected
+           (pct r.rejected);
+         Printf.printf "expired   : %d (%.1f%%)\n" r.expired (pct r.expired);
+         Printf.printf "duration  : %.3fs (%.0f req/s)\n" r.duration
+           (if r.duration > 0.0 then
+              float_of_int r.submitted /. r.duration
+            else 0.0);
+         if Array.length r.rtt_samples > 0 then begin
+           let q p = 1e3 *. Prelude.Stats.quantile r.rtt_samples p in
+           Printf.printf
+             "latency   : p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n"
+             (q 0.5) (q 0.9) (q 0.99)
+             (1e3 *. Prelude.Stats.max r.rtt)
+         end;
+         (match decisions_out with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (Serve.Client.render_decisions r);
+            close_out oc;
+            Printf.printf "decisions : wrote %s\n" path
+          | None -> ());
+         `Ok ())
+  in
+  let connect_arg =
+    let doc = "Server address: tcp:HOST:PORT or unix:PATH." in
+    Arg.(value
+         & opt (addr_conv ~what:"ADDR") (Serve.Server.Tcp ("127.0.0.1", 7477))
+         & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let mode_arg =
+    let doc =
+      "$(b,open): replay the workload's arrival schedule round by round \
+       (lock-step when $(b,--manual)).  $(b,closed): keep $(b,--users) \
+       requests in flight until $(b,--total) have resolved."
+    in
+    Arg.(value & opt string "open" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let users_arg =
+    let doc = "Closed-loop concurrency (outstanding requests)." in
+    Arg.(value & opt int 16 & info [ "users" ] ~docv:"K" ~doc)
+  in
+  let total_arg =
+    let doc =
+      "Closed-loop request budget (0 = one pass over the workload)."
+    in
+    Arg.(value & opt int 0 & info [ "total" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Replay the exact instance from $(docv) (written by \
+       $(b,--save-trace)) instead of generating a workload."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let save_trace_arg =
+    let doc = "Save the generated instance to $(docv) before running." in
+    Arg.(value & opt (some string) None
+         & info [ "save-trace" ] ~docv:"FILE" ~doc)
+  in
+  let decisions_arg =
+    let doc =
+      "Write the per-tag decision log (sorted, byte-comparable across \
+       replays) to $(docv)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "decisions" ] ~docv:"FILE" ~doc)
+  in
+  let term =
+    Term.(ret (const action $ connect_arg $ mode_arg $ workload_arg $ n_arg
+               $ d_arg $ rounds_arg $ load_arg $ seed_arg $ users_arg
+               $ total_arg $ tick_ms_arg $ manual_arg $ trace_arg
+               $ save_trace_arg $ decisions_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Generate load against a running reqsched server.")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -527,4 +783,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; compare_cmd; exp_cmd; table1_cmd; trace_cmd; sweep_cmd ]))
+          [
+            run_cmd; compare_cmd; exp_cmd; table1_cmd; trace_cmd; sweep_cmd;
+            serve_cmd; load_cmd;
+          ]))

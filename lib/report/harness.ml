@@ -4,6 +4,10 @@ type run = {
   ratio : float;
 }
 
+let ratio_of ~opt ~served =
+  if served = 0 then if opt = 0 then 1.0 else infinity
+  else float_of_int opt /. float_of_int served
+
 let run_instance ?metrics inst factory =
   let metrics = Obs.Metrics.resolve metrics in
   let outcome = Sched.Engine.run ?metrics inst factory in
@@ -15,14 +19,7 @@ let run_instance ?metrics inst factory =
     | Some m -> Offline.Opt_stream.value ~metrics:m inst
     | None -> Offline.Opt.value inst
   in
-  {
-    outcome;
-    opt;
-    ratio =
-      (if outcome.Sched.Outcome.served = 0 then
-         if opt = 0 then 1.0 else infinity
-       else float_of_int opt /. float_of_int outcome.Sched.Outcome.served);
-  }
+  { outcome; opt; ratio = ratio_of ~opt ~served:outcome.Sched.Outcome.served }
 
 type anytime = {
   run : run;
@@ -43,10 +40,7 @@ let run_instance_anytime ?metrics inst factory =
          !acc)
       outcome.Sched.Outcome.per_round_served
   in
-  let ratio ~opt ~alg =
-    if alg = 0 then if opt = 0 then 1.0 else infinity
-    else float_of_int opt /. float_of_int alg
-  in
+  let ratio ~opt ~alg = ratio_of ~opt ~served:alg in
   let horizon = Array.length opt_curve in
   let opt = if horizon = 0 then 0 else opt_curve.(horizon - 1) in
   {

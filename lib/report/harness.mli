@@ -6,6 +6,14 @@ type run = {
   ratio : float;
 }
 
+val ratio_of : opt:int -> served:int -> float
+(** The competitive ratio [opt / served] with the degenerate cases made
+    explicit: [1.0] when both are zero (vacuously competitive),
+    [infinity] when the algorithm served nothing against a positive
+    optimum.  Every ratio the reports print goes through this — a naive
+    [opt /. max 1 served] silently reports [opt] itself for a strategy
+    that served nothing. *)
+
 val run_scenario : Adversary.Scenario.t -> Sched.Strategy.factory -> run
 (** Run and compute the exact optimum (grouped max-flow); when the
     scenario carries an [opt_hint] it is checked against the computed

@@ -1,0 +1,134 @@
+(* Text codec for instances and request fields.
+
+   The grammar is shared with the lib/serve wire protocol: a request's
+   alternative list is rendered as comma-separated resource ids, and a
+   request line is three space-separated fields.  Keeping the grammar
+   here (under sched, not serve) lets traces be saved, loaded and
+   replayed without linking the network layer. *)
+
+let version = "rsp/1"
+
+let render_alts alts = String.concat "," (List.map string_of_int alts)
+
+let parse_alts s =
+  if s = "" then Error "empty alternative list"
+  else
+    let fields = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest ->
+        (match int_of_string_opt f with
+         | Some v when v < 0 ->
+           Error (Printf.sprintf "negative resource %d" v)
+         | Some v when List.mem v acc ->
+           Error (Printf.sprintf "duplicate resource %d" v)
+         | Some v -> go (v :: acc) rest
+         | None -> Error (Printf.sprintf "malformed resource %S" f))
+    in
+    go [] fields
+
+(* [first] is the arrival round in a trace file and the client's tag on
+   the wire — same shape, different meaning. *)
+let render_req_fields ~first ~alternatives ~deadline =
+  Printf.sprintf "%d %s %d" first (render_alts alternatives) deadline
+
+let parse_req_fields ~what s =
+  match String.split_on_char ' ' s with
+  | [ first; alts; deadline ] ->
+    (match int_of_string_opt first, parse_alts alts,
+           int_of_string_opt deadline with
+     | Some _, Ok _, Some dl when dl < 1 ->
+       Error (Printf.sprintf "deadline %d must be >= 1" dl)
+     | Some f, Ok alternatives, Some dl -> Ok (f, alternatives, dl)
+     | None, _, _ -> Error (Printf.sprintf "malformed %s %S" what first)
+     | _, Error m, _ -> Error m
+     | _, _, None -> Error (Printf.sprintf "malformed deadline %S" deadline))
+  | _ -> Error (Printf.sprintf "expected '<%s> <alts> <deadline>': %S" what s)
+
+let to_string (inst : Instance.t) =
+  let b = Buffer.create (64 + (32 * Instance.n_requests inst)) in
+  Buffer.add_string b
+    (Printf.sprintf "instance %s n=%d d=%d requests=%d\n" version
+       inst.Instance.n_resources inst.Instance.d
+       (Instance.n_requests inst));
+  Array.iter
+    (fun (r : Request.t) ->
+       Buffer.add_string b
+         (Printf.sprintf "req %s\n"
+            (render_req_fields ~first:r.Request.arrival
+               ~alternatives:(Array.to_list r.Request.alternatives)
+               ~deadline:r.Request.deadline)))
+    inst.Instance.requests;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let parse_header line =
+  match String.split_on_char ' ' line with
+  | [ "instance"; v; nf; df; cf ] when v = version ->
+    let field name s =
+      let prefix = name ^ "=" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        int_of_string_opt (String.sub s pl (String.length s - pl))
+      else None
+    in
+    (match field "n" nf, field "d" df, field "requests" cf with
+     | Some n, Some d, Some count -> Ok (n, d, count)
+     | _ -> Error (Printf.sprintf "malformed instance header %S" line))
+  | "instance" :: v :: _ when v <> version ->
+    Error (Printf.sprintf "unsupported trace version %S (want %s)" v version)
+  | _ -> Error (Printf.sprintf "malformed instance header %S" line)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty trace"
+  | header :: rest ->
+    (match parse_header header with
+     | Error _ as e -> e
+     | Ok (n, d, count) ->
+       let rec go acc = function
+         | [ "end" ] ->
+           let protos = List.rev acc in
+           if List.length protos <> count then
+             Error
+               (Printf.sprintf "header claims %d requests, trace has %d"
+                  count (List.length protos))
+           else
+             (match Instance.build ~n_resources:n ~d protos with
+              | inst -> Ok inst
+              | exception Invalid_argument m -> Error m)
+         | [] -> Error "truncated trace (missing 'end')"
+         | line :: rest when String.length line >= 4
+                          && String.sub line 0 4 = "req " ->
+           (match
+              parse_req_fields ~what:"arrival"
+                (String.sub line 4 (String.length line - 4))
+            with
+            | Error _ as e -> e
+            | Ok (arrival, alternatives, deadline) ->
+              (match Request.make ~arrival ~alternatives ~deadline with
+               | proto -> go (proto :: acc) rest
+               | exception Invalid_argument m -> Error m))
+         | line :: _ -> Error (Printf.sprintf "malformed trace line %S" line)
+       in
+       go [] rest)
+
+let save ~path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+         let len = in_channel_length ic in
+         of_string (really_input_string ic len))

@@ -1,0 +1,48 @@
+(** Text codec for instances and request fields.
+
+    A versioned, line-oriented format shared with the [lib/serve] wire
+    protocol: the alternative-list and request-line grammar here is the
+    one requests travel over the wire with, so a trace saved with
+    {!save} replays byte-identically through the server ([reqsched load
+    --mode replay]).
+
+    Format (one record per line):
+    {v
+    instance rsp/1 n=<n> d=<d> requests=<count>
+    req <arrival> <alt0,alt1,...> <deadline>
+    ...
+    end
+    v}
+
+    {!to_string} is canonical: [to_string (of_string s)] is
+    byte-identical to a canonically rendered [s], and
+    [of_string (to_string i)] rebuilds an instance with identical
+    parameters and requests (the round-trip the test-suite pins). *)
+
+val version : string
+(** ["rsp/1"], shared with [Serve.Protocol]. *)
+
+val render_alts : int list -> string
+(** Comma-separated resource ids, e.g. ["3,0"]. *)
+
+val parse_alts : string -> (int list, string) result
+(** Inverse of {!render_alts}; rejects empty lists, negatives,
+    duplicates and non-numeric fields. *)
+
+val render_req_fields :
+  first:int -> alternatives:int list -> deadline:int -> string
+(** ["<first> <alts> <deadline>"] — [first] is the arrival round in a
+    trace file and the client's request tag on the wire. *)
+
+val parse_req_fields :
+  what:string -> string -> (int * int list * int, string) result
+(** Inverse of {!render_req_fields}; [what] names the first field in
+    error messages ("arrival", "tag"). *)
+
+val to_string : Instance.t -> string
+val of_string : string -> (Instance.t, string) result
+
+val save : path:string -> Instance.t -> unit
+(** {!to_string} to a file.  @raise Sys_error on I/O failure. *)
+
+val load : path:string -> (Instance.t, string) result

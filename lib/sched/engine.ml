@@ -64,12 +64,15 @@ let finish ledger ~inst ~strategy_name =
   }
 
 (* Per-round metric recording around one strategy step.  [step] is a
-   thunk so the un-instrumented path pays a single match per round. *)
+   thunk so the un-instrumented path pays a single match per round.
+   Returns the services the strategy emitted (validated and applied):
+   the live engine needs them to report per-request outcomes. *)
 let step_with_metrics metrics ledger ~round ~arrivals step =
   match metrics with
   | None ->
     let services = step () in
-    apply_services ledger ~round services
+    apply_services ledger ~round services;
+    services
   | Some m ->
     let served0 = Hashtbl.length ledger.served_tbl
     and wasted0 = ledger.wasted in
@@ -82,7 +85,8 @@ let step_with_metrics metrics ledger ~round ~arrivals step =
     Obs.Metrics.incr ~by:(Array.length arrivals) m "engine.arrivals";
     Obs.Metrics.incr ~by:served m "engine.served";
     Obs.Metrics.incr ~by:(ledger.wasted - wasted0) m "engine.wasted";
-    Obs.Metrics.observe m "engine.served_per_round" (float_of_int served)
+    Obs.Metrics.observe m "engine.served_per_round" (float_of_int served);
+    services
 
 let run ?metrics inst factory =
   let metrics = Obs.Metrics.resolve metrics in
@@ -95,8 +99,9 @@ let run ?metrics inst factory =
   in
   for round = 0 to inst.Instance.horizon - 1 do
     let arrivals = Instance.arrivals_at inst round in
-    step_with_metrics metrics ledger ~round ~arrivals (fun () ->
-        strategy.Strategy.step ~round ~arrivals)
+    ignore
+      (step_with_metrics metrics ledger ~round ~arrivals (fun () ->
+           strategy.Strategy.step ~round ~arrivals))
   done;
   finish ledger ~inst ~strategy_name:strategy.Strategy.name
 
@@ -141,8 +146,9 @@ let run_adaptive ?metrics ~n ~d ~last_arrival_round ~adversary factory =
         Array.of_list assigned
       end
     in
-    step_with_metrics metrics ledger ~round ~arrivals (fun () ->
-        strategy.Strategy.step ~round ~arrivals)
+    ignore
+      (step_with_metrics metrics ledger ~round ~arrivals (fun () ->
+           strategy.Strategy.step ~round ~arrivals))
   done;
   let protos =
     List.rev_map
@@ -154,3 +160,119 @@ let run_adaptive ?metrics ~n ~d ~last_arrival_round ~adversary factory =
   in
   let inst = Instance.build ~n_resources:n ~d protos in
   finish ledger ~inst ~strategy_name:strategy.Strategy.name
+
+(* ------------------------------------------------------------------ *)
+(* Live: the incremental engine behind lib/serve.
+
+   Same validation ledger as the batch runs, but the workload is not
+   known in advance: requests are submitted between rounds and the
+   caller decides when each round happens (a shard's tick).  Every
+   admitted request reaches exactly one terminal state — served (the
+   step that first serves it reports the id) or expired (reported by
+   the step that closes its window). *)
+
+module Live = struct
+  type outcome = {
+    round : int;                (** the round just executed *)
+    served : (int * int) list;
+        (** (request id, resource) of first services, in service order *)
+    expired : int list;         (** ids whose window closed unserved *)
+  }
+
+  type t = {
+    n : int;
+    d : int;
+    strategy : Strategy.t;
+    metrics : Obs.Metrics.t option;
+    ledger : ledger;
+    by_id : (int, Request.t) Hashtbl.t;
+    expiry : (int, int list ref) Hashtbl.t; (* last_round -> ids, reversed *)
+    mutable queued : Request.t list;        (* reversed arrivals *)
+    mutable next_id : int;
+    mutable round : int;
+    mutable live : int;                     (* admitted, no terminal yet *)
+  }
+
+  let create ?metrics ~n ~d factory =
+    if n < 1 then invalid_arg "Engine.Live.create: n must be >= 1";
+    if d < 1 then invalid_arg "Engine.Live.create: d must be >= 1";
+    let metrics = Obs.Metrics.resolve metrics in
+    let by_id = Hashtbl.create 256 in
+    {
+      n;
+      d;
+      strategy = factory ~n ~d;
+      metrics;
+      ledger = make_ledger ~n ~lookup:(fun id -> Hashtbl.find_opt by_id id);
+      by_id;
+      expiry = Hashtbl.create 64;
+      queued = [];
+      next_id = 0;
+      round = 0;
+      live = 0;
+    }
+
+  let round t = t.round
+  let pending t = t.live
+  let submitted t = t.next_id
+  let strategy_name t = t.strategy.Strategy.name
+
+  let is_served t id = Hashtbl.mem t.ledger.served_tbl id
+
+  let submit t ~alternatives ~deadline =
+    if deadline > t.d then
+      Error (Printf.sprintf "deadline %d exceeds the server's d=%d" deadline t.d)
+    else if List.exists (fun a -> a >= t.n) alternatives then
+      Error
+        (Printf.sprintf "resource out of range (n=%d): %s" t.n
+           (String.concat ","
+              (List.map string_of_int
+                 (List.filter (fun a -> a >= t.n) alternatives))))
+    else
+      match Request.make ~arrival:t.round ~alternatives ~deadline with
+      | exception Invalid_argument m -> Error m
+      | proto ->
+        let r = Request.with_id proto t.next_id in
+        t.next_id <- t.next_id + 1;
+        Hashtbl.replace t.by_id r.Request.id r;
+        t.queued <- r :: t.queued;
+        t.live <- t.live + 1;
+        let last = Request.last_round r in
+        (match Hashtbl.find_opt t.expiry last with
+         | Some ids -> ids := r.Request.id :: !ids
+         | None -> Hashtbl.replace t.expiry last (ref [ r.Request.id ]));
+        Ok r.Request.id
+
+  let step t =
+    let round = t.round in
+    let arrivals = Array.of_list (List.rev t.queued) in
+    t.queued <- [];
+    let services =
+      step_with_metrics t.metrics t.ledger ~round ~arrivals (fun () ->
+          t.strategy.Strategy.step ~round ~arrivals)
+    in
+    (* keep only first services: a re-service of an already-served
+       request is legal-but-wasted, and the ledger maps each id to its
+       first (resource, round) only *)
+    let served =
+      List.filter
+        (fun { Strategy.request; resource } ->
+           match Hashtbl.find_opt t.ledger.served_tbl request with
+           | Some (res, r) -> r = round && res = resource
+           | None -> false)
+        services
+      |> List.map (fun { Strategy.request; resource } -> (request, resource))
+    in
+    let expired =
+      match Hashtbl.find_opt t.expiry round with
+      | None -> []
+      | Some ids ->
+        List.filter
+          (fun id -> not (Hashtbl.mem t.ledger.served_tbl id))
+          (List.sort compare !ids)
+    in
+    Hashtbl.remove t.expiry round;
+    t.live <- t.live - List.length served - List.length expired;
+    t.round <- round + 1;
+    { round; served; expired }
+end

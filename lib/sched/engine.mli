@@ -46,3 +46,55 @@ val run_adaptive :
     instance is available as [(result).instance], so the offline optimum
     of exactly the adaptively-generated workload can be computed
     afterwards. *)
+
+(** The incremental (live) engine: same validation rules as {!run}, but
+    the workload arrives over time — requests are submitted between
+    rounds and the caller decides when each round ticks.  This is what a
+    {e serving} shard drives: admit, tick, collect terminal outcomes.
+
+    Determinism: the outcome of a run depends only on the strategy and
+    the sequence of submissions between steps, so replaying a recorded
+    trace through a fresh engine reproduces every decision exactly. *)
+module Live : sig
+  type outcome = {
+    round : int;                (** the round just executed *)
+    served : (int * int) list;
+        (** (request id, resource) of first services, in service order *)
+    expired : int list;
+        (** ids whose window closed unserved in this round, ascending *)
+  }
+
+  type t
+
+  val create :
+    ?metrics:Obs.Metrics.t -> n:int -> d:int -> Strategy.factory -> t
+  (** A live engine over [n] resources with nominal deadline [d].  The
+      strategy is instantiated once; [metrics] (or the ambient registry)
+      receives the same [engine.*] instrumentation as {!run}.
+      @raise Invalid_argument if [n < 1] or [d < 1]. *)
+
+  val submit :
+    t -> alternatives:int list -> deadline:int -> (int, string) result
+  (** Admit a request arriving at the {e current} round; it becomes part
+      of the next {!step}'s arrivals.  Returns the engine-assigned dense
+      id.  [Error] (malformed alternatives, resource [>= n], deadline
+      outside [1 .. d]) admits nothing. *)
+
+  val step : t -> outcome
+  (** Execute the current round: reveal the queued submissions to the
+      strategy, validate and apply its services, close expiring windows,
+      and advance the round counter.
+      @raise Protocol_error on an illegal service, as {!run}. *)
+
+  val round : t -> int
+  (** The next round {!step} will execute (0 initially). *)
+
+  val pending : t -> int
+  (** Admitted requests with no terminal outcome yet. *)
+
+  val submitted : t -> int
+  (** Total requests ever admitted (also the next fresh id). *)
+
+  val is_served : t -> int -> bool
+  val strategy_name : t -> string
+end

@@ -1,0 +1,40 @@
+(* A small mutex-protected FIFO queue with a hard capacity.
+
+   Multi-producer (the I/O domain pushes, and tests push from several
+   domains), single-consumer (the owning shard drains).  Overflow is
+   the producer's signal to reject explicitly — nothing is ever dropped
+   silently.  Consumers poll ([drain] is non-blocking); the serve loops
+   tick on their own clocks, so no condition variable is needed. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  capacity : int;
+  mutable items : 'a list; (* reversed: newest first *)
+  mutable length : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+  { mutex = Mutex.create (); capacity; items = []; length = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.length >= t.capacity then false
+      else begin
+        t.items <- x :: t.items;
+        t.length <- t.length + 1;
+        true
+      end)
+
+let drain t =
+  with_lock t (fun () ->
+      let xs = t.items in
+      t.items <- [];
+      t.length <- 0;
+      List.rev xs)
+
+let length t = with_lock t (fun () -> t.length)

@@ -1,0 +1,21 @@
+(** Bounded multi-producer FIFO queues for the serve data plane.
+
+    The I/O domain pushes admitted requests into a shard's inbox and
+    shards push responses into the shared outbox.  Capacity is a hard
+    admission-control bound: {!try_push} refuses instead of blocking or
+    dropping, so the caller can send an explicit reject. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1].  Use [max_int] for an
+    effectively unbounded queue (the response path, where backpressure
+    is applied upstream by the arrival bound). *)
+
+val try_push : 'a t -> 'a -> bool
+(** Append; [false] iff the queue is at capacity. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return everything, oldest first.  Non-blocking. *)
+
+val length : 'a t -> int

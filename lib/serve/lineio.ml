@@ -1,0 +1,19 @@
+(* Line framing over byte streams, shared by the server's nonblocking
+   connection handling and the client's blocking reader. *)
+
+let extract_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+    let complete = String.sub s 0 last in
+    Buffer.clear buf;
+    Buffer.add_substring buf s (last + 1) (String.length s - last - 1);
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' complete)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done

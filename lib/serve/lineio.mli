@@ -1,0 +1,10 @@
+(** Line framing over byte streams. *)
+
+val extract_lines : Buffer.t -> string list
+(** Remove every complete ['\n']-terminated line from the buffer and
+    return them oldest first (empty lines skipped); bytes after the
+    last newline stay buffered as the next partial line. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string (blocking descriptors).
+    @raise Unix.Unix_error as [Unix.write]. *)

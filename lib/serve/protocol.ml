@@ -1,0 +1,171 @@
+(* The reqsched wire protocol: one message per line, version rsp/1.
+
+   The request-line grammar (tag, comma-separated alternatives,
+   deadline) is Sched.Codec's — the same bytes describe a request in a
+   saved trace (where the first field is the arrival round) and on the
+   wire (where it is the client's tag), which is what makes recorded
+   traces replayable through the server.
+
+   Free-text fields: a client/server name is a single token (no spaces);
+   reject and error details are rest-of-line (spaces allowed, newlines
+   never).  Renderers never emit '\n'; the framing layer adds it. *)
+
+let version = Sched.Codec.version
+
+type request = { tag : int; alternatives : int list; deadline : int }
+
+type reject_reason =
+  | Overload          (* a shard inbox was at capacity *)
+  | Draining          (* server is shutting down; not admitting *)
+  | Invalid of string (* malformed request; detail says why *)
+
+type client_msg =
+  | Hello of { client : string }
+  | Submit of request
+  | Tick
+  | Bye
+
+type server_msg =
+  | Welcome of { server : string }
+  | Scheduled of { tag : int; round : int; resource : int }
+  | Rejected of { tag : int; reason : reject_reason }
+  | Expired of { tag : int }
+  | Round of { round : int }
+  | Error of { message : string }
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let render_reject_reason = function
+  | Overload -> "overload"
+  | Draining -> "draining"
+  | Invalid "" -> "invalid"
+  | Invalid detail -> "invalid " ^ detail
+
+let render_client = function
+  | Hello { client } -> Printf.sprintf "hello %s %s" version client
+  | Submit { tag; alternatives; deadline } ->
+    "req "
+    ^ Sched.Codec.render_req_fields ~first:tag ~alternatives ~deadline
+  | Tick -> "tick"
+  | Bye -> "bye"
+
+let render_server = function
+  | Welcome { server } -> Printf.sprintf "welcome %s %s" version server
+  | Scheduled { tag; round; resource } ->
+    Printf.sprintf "sched %d %d %d" tag round resource
+  | Rejected { tag; reason } ->
+    Printf.sprintf "rej %d %s" tag (render_reject_reason reason)
+  | Expired { tag } -> Printf.sprintf "exp %d" tag
+  | Round { round } -> Printf.sprintf "round %d" round
+  | Error { message = "" } -> "error"
+  | Error { message } -> "error " ^ message
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+let strip_keyword ~keyword line =
+  let kl = String.length keyword in
+  let ll = String.length line in
+  if ll = kl && line = keyword then Some ""
+  else if ll > kl && String.sub line 0 kl = keyword && line.[kl] = ' ' then
+    Some (String.sub line (kl + 1) (ll - kl - 1))
+  else None
+
+let int_field ~what s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> Ok v
+  | Some v -> Error (Printf.sprintf "negative %s %d" what v)
+  | None -> Error (Printf.sprintf "malformed %s %S" what s)
+
+let parse_hello ~keyword rest =
+  match String.split_on_char ' ' rest with
+  | [ v; name ] when v = version && name <> "" -> Ok name
+  | v :: _ when v <> version ->
+    Error
+      (Printf.sprintf "unsupported protocol version %S (want %s)" v version)
+  | _ -> Error (Printf.sprintf "expected '%s %s <name>'" keyword version)
+
+let parse_client line =
+  match line with
+  | "tick" -> Ok Tick
+  | "bye" -> Ok Bye
+  | _ ->
+    (match strip_keyword ~keyword:"hello" line with
+     | Some rest ->
+       Result.map (fun client -> Hello { client })
+         (parse_hello ~keyword:"hello" rest)
+     | None ->
+       (match strip_keyword ~keyword:"req" line with
+        | Some rest ->
+          (match Sched.Codec.parse_req_fields ~what:"tag" rest with
+           | Ok (tag, alternatives, deadline) when tag >= 0 ->
+             Ok (Submit { tag; alternatives; deadline })
+           | Ok (tag, _, _) ->
+             Error (Printf.sprintf "negative tag %d" tag)
+           | Error _ as e -> e)
+        | None -> Error (Printf.sprintf "unknown client message %S" line)))
+
+let parse_reject_reason s =
+  match s with
+  | "overload" -> Ok Overload
+  | "draining" -> Ok Draining
+  | _ ->
+    (match strip_keyword ~keyword:"invalid" s with
+     | Some detail -> Ok (Invalid detail)
+     | None -> Error (Printf.sprintf "unknown reject reason %S" s))
+
+let parse_server line =
+  match strip_keyword ~keyword:"welcome" line with
+  | Some rest ->
+    Result.map (fun server -> Welcome { server })
+      (parse_hello ~keyword:"welcome" rest)
+  | None ->
+    (match strip_keyword ~keyword:"sched" line with
+     | Some rest ->
+       (match String.split_on_char ' ' rest with
+        | [ t; r; s ] ->
+          let ( let* ) = Result.bind in
+          let* tag = int_field ~what:"tag" t in
+          let* round = int_field ~what:"round" r in
+          let* resource = int_field ~what:"resource" s in
+          Ok (Scheduled { tag; round; resource })
+        | _ -> Error "expected 'sched <tag> <round> <resource>'")
+     | None ->
+       (match strip_keyword ~keyword:"rej" line with
+        | Some rest ->
+          let tag_s, reason_s =
+            match String.index_opt rest ' ' with
+            | Some i ->
+              ( String.sub rest 0 i,
+                String.sub rest (i + 1) (String.length rest - i - 1) )
+            | None -> (rest, "")
+          in
+          let ( let* ) = Result.bind in
+          let* tag = int_field ~what:"tag" tag_s in
+          let* reason = parse_reject_reason reason_s in
+          Ok (Rejected { tag; reason })
+        | None ->
+          (match strip_keyword ~keyword:"exp" line with
+           | Some rest ->
+             Result.map (fun tag -> Expired { tag })
+               (int_field ~what:"tag" rest)
+           | None ->
+             (match strip_keyword ~keyword:"round" line with
+              | Some rest ->
+                Result.map (fun round -> Round { round })
+                  (int_field ~what:"round" rest)
+              | None ->
+                (match strip_keyword ~keyword:"error" line with
+                 | Some message -> Ok (Error { message })
+                 | None ->
+                   Stdlib.Error
+                     (Printf.sprintf "unknown server message %S" line))))))
+
+let is_terminal = function
+  | Scheduled _ | Rejected _ | Expired _ -> true
+  | Welcome _ | Round _ | Error _ -> false
+
+let terminal_tag = function
+  | Scheduled { tag; _ } | Rejected { tag; _ } | Expired { tag } -> Some tag
+  | Welcome _ | Round _ | Error _ -> None

@@ -1,0 +1,481 @@
+(* The reqsched scheduling server.
+
+   One I/O domain owns the listener and every client socket (nonblocking,
+   select-driven): it frames lines, parses messages, applies admission
+   control and routes accepted requests to shard inboxes; shard domains
+   (Shard.run) own the engines and push responses into the shared outbox,
+   which the I/O domain writes back to clients.  Client failures (EPIPE,
+   ECONNRESET, abrupt EOF with requests in flight) are strictly an I/O
+   domain affair: the connection is closed and counted, the shards never
+   notice.
+
+   Shutdown: [drain] (wired to SIGINT/SIGTERM by the CLI) closes the
+   listener, makes every new submission an explicit 'draining' reject,
+   and lets the shards serve what is already admitted to its deadline;
+   when the last shard exits the I/O domain flushes remaining responses,
+   merges all metric registries and publishes the final snapshot. *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let addr_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+  | Unix_sock path -> "unix:" ^ path
+
+let addr_of_string s =
+  let err () =
+    Error (Printf.sprintf "malformed address %S (want tcp:HOST:PORT or unix:PATH)" s)
+  in
+  match String.index_opt s ':' with
+  | None -> err ()
+  | Some i ->
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match scheme with
+     | "unix" when rest <> "" -> Ok (Unix_sock rest)
+     | "tcp" ->
+       (match String.rindex_opt rest ':' with
+        | Some j when j < String.length rest - 1 ->
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          (match int_of_string_opt port with
+           | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+           | _ -> err ())
+        | _ -> err ())
+     | _ -> err ())
+
+type config = {
+  addr : addr;
+  n_resources : int;
+  d : int;
+  shards : int;
+  strategy : shard:int -> Sched.Strategy.factory;
+  tick : [ `Every of float | `Manual ];
+  queue_capacity : int;
+  read_timeout : float; (* seconds; <= 0 disables *)
+  name : string;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  shards : Shard.t array;
+  stride : int;
+  outbox : (int * Protocol.server_msg) Chan.t;
+  draining : bool Atomic.t;
+  tick_target : int Atomic.t;
+  metrics : Obs.Metrics.t option;
+  io_m : Obs.Metrics.t;
+  finished : bool Atomic.t;
+  final : Obs.Metrics.snapshot option Atomic.t;
+  mutable domains : unit Domain.t list;
+  mutable joined : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* sockets *)
+
+let resolve_host host =
+  if host = "" || host = "0.0.0.0" then Unix.inet_addr_any
+  else if host = "localhost" then Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ ->
+      (Unix.gethostbyname host).Unix.h_addr_list.(0)
+
+let open_listener addr =
+  match addr with
+  | Unix_sock path ->
+    if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    fd
+
+(* ------------------------------------------------------------------ *)
+(* the I/O domain *)
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  inq : Buffer.t;
+  outq : Buffer.t;
+  mutable greeted : bool;
+  mutable inflight : int; (* admitted, terminal response still pending *)
+  mutable last_read : float;
+  mutable closing : bool; (* close once outq is flushed *)
+  mutable closed : bool;
+}
+
+let max_line = 65536
+
+let io_loop t =
+  let m = t.io_m in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 32 in
+  let next_cid = ref 0 in
+  let listener_open = ref true in
+  let pending_acks = ref [] in (* (cid, target round count) *)
+  let scratch = Bytes.create 4096 in
+  let queue_msg conn msg =
+    Buffer.add_string conn.outq (Protocol.render_server msg);
+    Buffer.add_char conn.outq '\n';
+    Obs.Metrics.incr m "serve.responses_out"
+  in
+  let close_conn ?(error = false) conn =
+    if not conn.closed then begin
+      conn.closed <- true;
+      Hashtbl.remove conns conn.cid;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      if error || conn.inflight > 0 then
+        Obs.Metrics.incr m "serve.client_errors"
+    end
+  in
+  let shard_of_resource r = t.shards.(r / t.stride) in
+  let reject conn ~tag reason counter =
+    Obs.Metrics.incr m counter;
+    queue_msg conn (Protocol.Rejected { tag; reason })
+  in
+  let admit conn ({ Protocol.tag; alternatives; deadline } : Protocol.request)
+      =
+    Obs.Metrics.incr m "serve.requests";
+    if Atomic.get t.draining then
+      reject conn ~tag Protocol.Draining "serve.rejected.draining"
+    else
+      let invalid detail =
+        reject conn ~tag (Protocol.Invalid detail) "serve.rejected.invalid"
+      in
+      match alternatives with
+      | [] -> invalid "empty alternative list"
+      | first :: _ ->
+        (match
+           List.find_opt
+             (fun a -> a < 0 || a >= t.cfg.n_resources)
+             alternatives
+         with
+         | Some a ->
+           invalid
+             (Printf.sprintf "resource %d out of range (n=%d)" a
+                t.cfg.n_resources)
+         | None ->
+           if deadline < 1 || deadline > t.cfg.d then
+             invalid
+               (Printf.sprintf "deadline %d outside 1..%d" deadline t.cfg.d)
+           else begin
+             let shard = shard_of_resource first in
+             if
+               Shard.try_admit shard
+                 { Shard.conn = conn.cid; tag; alternatives; deadline }
+             then begin
+               conn.inflight <- conn.inflight + 1;
+               Obs.Metrics.incr m "serve.admitted"
+             end
+             else reject conn ~tag Protocol.Overload "serve.rejected.overload"
+           end)
+  in
+  let protocol_error conn detail =
+    Obs.Metrics.incr m "serve.protocol_errors";
+    queue_msg conn (Protocol.Error { message = detail });
+    conn.closing <- true
+  in
+  let handle_line conn line =
+    Obs.Metrics.incr m "serve.lines_in";
+    match Protocol.parse_client line with
+    | Error detail -> protocol_error conn detail
+    | Ok (Protocol.Hello _) ->
+      if conn.greeted then protocol_error conn "duplicate hello"
+      else begin
+        conn.greeted <- true;
+        queue_msg conn (Protocol.Welcome { server = t.cfg.name })
+      end
+    | Ok _ when not conn.greeted -> protocol_error conn "expected hello first"
+    | Ok (Protocol.Submit req) -> admit conn req
+    | Ok Protocol.Tick ->
+      (match t.cfg.tick with
+       | `Manual ->
+         let target = 1 + Atomic.fetch_and_add t.tick_target 1 in
+         pending_acks := !pending_acks @ [ (conn.cid, target) ]
+       | `Every _ ->
+         queue_msg conn
+           (Protocol.Error
+              { message = "server ticks on its own clock; tick ignored" }))
+    | Ok Protocol.Bye -> conn.closing <- true
+  in
+  let handle_readable conn =
+    if not conn.closed then
+      match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+      | 0 -> close_conn conn (* EOF; error iff requests stranded *)
+      | n ->
+        conn.last_read <- Unix.gettimeofday ();
+        Buffer.add_subbytes conn.inq scratch 0 n;
+        if
+          Buffer.length conn.inq > max_line
+          && not (String.contains (Buffer.contents conn.inq) '\n')
+        then protocol_error conn "line too long"
+        else List.iter (handle_line conn) (Lineio.extract_lines conn.inq)
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> close_conn ~error:true conn
+  in
+  let handle_writable conn =
+    if (not conn.closed) && Buffer.length conn.outq > 0 then begin
+      let s = Buffer.contents conn.outq in
+      match Unix.write_substring conn.fd s 0 (String.length s) with
+      | n ->
+        Buffer.clear conn.outq;
+        if n < String.length s then
+          Buffer.add_substring conn.outq s n (String.length s - n)
+        else if conn.closing then close_conn conn
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> close_conn ~error:true conn
+    end
+    else if conn.closing && Buffer.length conn.outq = 0 then close_conn conn
+  in
+  let route_responses () =
+    List.iter
+      (fun (cid, msg) ->
+         match Hashtbl.find_opt conns cid with
+         | Some conn when not conn.closed ->
+           if Protocol.is_terminal msg then
+             conn.inflight <- max 0 (conn.inflight - 1);
+           queue_msg conn msg
+         | Some _ | None -> Obs.Metrics.incr m "serve.responses_dropped")
+      (Chan.drain t.outbox)
+  in
+  let send_ready_acks () =
+    match !pending_acks with
+    | [] -> ()
+    | acks ->
+      let min_stepped =
+        Array.fold_left
+          (fun acc s -> min acc (Shard.stepped s))
+          max_int t.shards
+      in
+      let ready, waiting =
+        List.partition (fun (_, target) -> min_stepped >= target) acks
+      in
+      pending_acks := waiting;
+      List.iter
+        (fun (cid, target) ->
+           match Hashtbl.find_opt conns cid with
+           | Some conn when not conn.closed ->
+             queue_msg conn (Protocol.Round { round = target - 1 })
+           | Some _ | None -> ())
+        ready
+  in
+  let scan_timeouts now =
+    if t.cfg.read_timeout > 0.0 then
+      Hashtbl.iter
+        (fun _ conn ->
+           if
+             (not conn.closing)
+             && now -. conn.last_read > t.cfg.read_timeout
+           then begin
+             Obs.Metrics.incr m "serve.read_timeouts";
+             close_conn ~error:(conn.inflight > 0) conn
+           end)
+        (Hashtbl.copy conns)
+  in
+  let all_shards_exited () = Array.for_all Shard.has_exited t.shards in
+  (* main loop: run until every shard has drained and exited *)
+  while not (all_shards_exited () && Chan.length t.outbox = 0) do
+    if Atomic.get t.draining && !listener_open then begin
+      listener_open := false;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+    end;
+    let conn_fds =
+      Hashtbl.fold (fun _ c acc -> if c.closed then acc else c.fd :: acc)
+        conns []
+    in
+    let reads = if !listener_open then t.listen_fd :: conn_fds else conn_fds in
+    let writes =
+      Hashtbl.fold
+        (fun _ c acc ->
+           if (not c.closed) && Buffer.length c.outq > 0 then c.fd :: acc
+           else acc)
+        conns []
+    in
+    let rds, wrs =
+      match Unix.select reads writes [] 0.005 with
+      | rds, wrs, _ -> (rds, wrs)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [])
+    in
+    if !listener_open && List.memq t.listen_fd rds then begin
+      let accepting = ref true in
+      while !accepting do
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+          Unix.set_nonblock fd;
+          incr next_cid;
+          let conn =
+            {
+              cid = !next_cid;
+              fd;
+              inq = Buffer.create 256;
+              outq = Buffer.create 256;
+              greeted = false;
+              inflight = 0;
+              last_read = Unix.gettimeofday ();
+              closing = false;
+              closed = false;
+            }
+          in
+          Hashtbl.replace conns conn.cid conn;
+          Obs.Metrics.incr m "serve.connections"
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          accepting := false
+        | exception Unix.Unix_error _ -> accepting := false
+      done
+    end;
+    let conn_of_fd fd =
+      Hashtbl.fold
+        (fun _ c acc -> if (not c.closed) && c.fd == fd then Some c else acc)
+        conns None
+    in
+    List.iter
+      (fun fd ->
+         if fd != t.listen_fd then
+           Option.iter handle_readable (conn_of_fd fd))
+      rds;
+    route_responses ();
+    send_ready_acks ();
+    List.iter (fun fd -> Option.iter handle_writable (conn_of_fd fd)) wrs;
+    (* flush conns that became writable-with-data outside the select *)
+    Hashtbl.iter
+      (fun _ c ->
+         if (not c.closed) && (Buffer.length c.outq > 0 || c.closing) then
+           handle_writable c)
+      (Hashtbl.copy conns);
+    scan_timeouts (Unix.gettimeofday ())
+  done;
+  (* shards are gone: deliver what is left, then tear down *)
+  route_responses ();
+  send_ready_acks ();
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec flush () =
+    let pending =
+      Hashtbl.fold
+        (fun _ c acc ->
+           if (not c.closed) && Buffer.length c.outq > 0 then c :: acc
+           else acc)
+        conns []
+    in
+    if pending <> [] && Unix.gettimeofday () < deadline then begin
+      (match
+         Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.05
+       with
+       | _, wrs, _ ->
+         List.iter
+           (fun c -> if List.memq c.fd wrs then handle_writable c)
+           pending
+       | exception Unix.Unix_error _ -> ());
+      flush ()
+    end
+  in
+  flush ();
+  Hashtbl.iter (fun _ c -> close_conn c) (Hashtbl.copy conns);
+  if !listener_open then
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.addr with
+   | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | Tcp _ -> ());
+  let final =
+    Obs.Metrics.merge_all
+      (Obs.Metrics.snapshot m
+       :: Array.to_list (Array.map Shard.metrics_snapshot t.shards))
+  in
+  Atomic.set t.final (Some final);
+  (match t.metrics with
+   | Some main -> Obs.Metrics.merge_into main final
+   | None -> ());
+  Atomic.set t.finished true
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle *)
+
+let start ?metrics cfg =
+  if cfg.n_resources < 1 then Error "n_resources must be >= 1"
+  else if cfg.d < 1 then Error "d must be >= 1"
+  else if cfg.queue_capacity < 1 then Error "queue_capacity must be >= 1"
+  else begin
+    let metrics = Obs.Metrics.resolve metrics in
+    let shards_n = max 1 (min cfg.shards cfg.n_resources) in
+    let stride = (cfg.n_resources + shards_n - 1) / shards_n in
+    (* the last slice may be short; recompute the real shard count *)
+    let shards_n = (cfg.n_resources + stride - 1) / stride in
+    match open_listener cfg.addr with
+    | exception Unix.Unix_error (e, _, arg) ->
+      Error
+        (Printf.sprintf "cannot listen on %s: %s (%s)"
+           (addr_to_string cfg.addr) (Unix.error_message e) arg)
+    | listen_fd ->
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let outbox = Chan.create ~capacity:max_int in
+      let shards =
+        Array.init shards_n (fun i ->
+            Shard.create ~index:i ~lo:(i * stride)
+              ~hi:(min cfg.n_resources ((i + 1) * stride))
+              ~d:cfg.d ~queue_capacity:cfg.queue_capacity
+              ~strategy:(cfg.strategy ~shard:i) ~outbox)
+      in
+      let t =
+        {
+          cfg;
+          listen_fd;
+          shards;
+          stride;
+          outbox;
+          draining = Atomic.make false;
+          tick_target = Atomic.make 0;
+          metrics;
+          io_m = Obs.Metrics.create ();
+          finished = Atomic.make false;
+          final = Atomic.make None;
+          domains = [];
+          joined = false;
+        }
+      in
+      Obs.Metrics.set t.io_m "serve.shards" (float_of_int shards_n);
+      let tick_source =
+        match cfg.tick with
+        | `Every dt -> Shard.Every dt
+        | `Manual -> Shard.Manual t.tick_target
+      in
+      let shard_domains =
+        Array.to_list
+          (Array.map
+             (fun s ->
+                Domain.spawn (fun () ->
+                    Shard.run s ~tick:tick_source ~draining:t.draining))
+             shards)
+      in
+      let io_domain = Domain.spawn (fun () -> io_loop t) in
+      t.domains <- io_domain :: shard_domains;
+      Ok t
+  end
+
+let drain t = Atomic.set t.draining true
+let finished t = Atomic.get t.finished
+let n_shards t = Array.length t.shards
+
+let wait t =
+  if not t.joined then begin
+    t.joined <- true;
+    List.iter Domain.join t.domains
+  end;
+  match Atomic.get t.final with
+  | Some snap -> snap
+  | None -> [] (* unreachable: the I/O domain publishes before exiting *)

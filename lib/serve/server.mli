@@ -1,0 +1,71 @@
+(** The reqsched scheduling server: sharded live engines behind a
+    line-protocol socket.
+
+    Architecture (DESIGN.md §4.8): one I/O domain owns the listener and
+    every client socket (nonblocking, [select]-driven) and applies
+    admission control; [shards] worker domains each own a contiguous
+    slice of the resource space and a {!Sched.Engine.Live} engine they
+    step on a round ticker.  Requests are routed to the shard owning
+    their first alternative through a bounded inbox — a full inbox is an
+    immediate, explicit [overload] reject, never a silent drop.
+
+    Failure isolation: client-side failures (EPIPE, ECONNRESET, abrupt
+    EOF with requests in flight, read timeouts) close that connection
+    and bump [serve.client_errors] / [serve.read_timeouts]; shard
+    domains never observe them.  Responses to vanished clients are
+    counted in [serve.responses_dropped].
+
+    Shutdown: {!drain} (the CLI wires SIGINT/SIGTERM to it) closes the
+    listener, rejects new submissions as [draining], serves everything
+    already admitted to its deadline, then flushes and publishes the
+    final merged metrics snapshot. *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+val addr_of_string : string -> (addr, string) result
+(** ["tcp:HOST:PORT"] or ["unix:PATH"]. *)
+
+val addr_to_string : addr -> string
+
+type config = {
+  addr : addr;
+  n_resources : int;
+  d : int;                 (** nominal deadline; per-request deadlines
+                               above it are rejected as invalid *)
+  shards : int;            (** clamped to [1 .. n_resources] *)
+  strategy : shard:int -> Sched.Strategy.factory;
+      (** per-shard factory, so randomised strategies can be seeded per
+          shard instead of sharing state across domains *)
+  tick : [ `Every of float | `Manual ];
+      (** [`Every dt]: a round every [dt] seconds (real time).
+          [`Manual]: rounds advance on wire [tick] messages (logical
+          time — what deterministic replay uses). *)
+  queue_capacity : int;    (** per-shard inbox bound (admission control) *)
+  read_timeout : float;    (** idle-connection cutoff in seconds;
+                               [<= 0.] disables *)
+  name : string;           (** server token in the [welcome] line *)
+}
+
+type t
+
+val start : ?metrics:Obs.Metrics.t -> config -> (t, string) result
+(** Bind, listen and spawn the shard and I/O domains; the listening
+    socket is ready when this returns.  [metrics] (or the ambient
+    registry) receives the final merged snapshot when the server
+    finishes. *)
+
+val drain : t -> unit
+(** Begin graceful shutdown; idempotent, callable from a signal
+    handler (it only flips an atomic). *)
+
+val finished : t -> bool
+(** Whether every domain has completed and the final snapshot is
+    published.  Poll this from a signal-receiving main thread instead
+    of blocking in {!wait}. *)
+
+val wait : t -> Obs.Metrics.snapshot
+(** Join all domains (first call; later calls are no-ops) and return
+    the final merged metrics snapshot. *)
+
+val n_shards : t -> int
+(** Actual shard count after clamping. *)

@@ -1,0 +1,176 @@
+(* One scheduling shard: a slice [lo, hi) of the resource space, a
+   bounded inbox, and a live engine stepped by a round ticker.
+
+   The shard is the only consumer of its inbox and the only writer of
+   its engine, so everything here is single-threaded; the inbox and the
+   shared outbox are the only synchronisation points.  Shard-local
+   metrics live in a private registry (uncontended) that the server
+   merges after the domain exits. *)
+
+module Live = Sched.Engine.Live
+
+type task = {
+  conn : int;               (* connection id, for reply routing *)
+  tag : int;                (* client's tag, echoed in responses *)
+  alternatives : int list;  (* global resource ids; alternatives.(0)
+                               is in [lo, hi) by routing *)
+  deadline : int;
+}
+
+type tick_source =
+  | Every of float          (* seconds between rounds *)
+  | Manual of int Atomic.t  (* step while [stepped < target] *)
+
+type t = {
+  index : int;
+  lo : int;
+  hi : int;
+  inbox : task Chan.t;
+  outbox : (int * Protocol.server_msg) Chan.t;
+  metrics : Obs.Metrics.t;
+  live : Live.t;
+  tags : (int, int * int) Hashtbl.t; (* engine id -> (conn, tag) *)
+  stepped : int Atomic.t;
+  exited : bool Atomic.t;
+}
+
+let create ~index ~lo ~hi ~d ~queue_capacity ~strategy ~outbox =
+  if hi <= lo then invalid_arg "Shard.create: empty resource range";
+  let metrics = Obs.Metrics.create () in
+  {
+    index;
+    lo;
+    hi;
+    inbox = Chan.create ~capacity:queue_capacity;
+    outbox;
+    metrics;
+    live = Live.create ~metrics ~n:(hi - lo) ~d strategy;
+    tags = Hashtbl.create 256;
+    stepped = Atomic.make 0;
+    exited = Atomic.make false;
+  }
+
+let index t = t.index
+let owns t resource = resource >= t.lo && resource < t.hi
+let try_admit t task = Chan.try_push t.inbox task
+let stepped t = Atomic.get t.stepped
+let has_exited t = Atomic.get t.exited
+let queue_depth t = Chan.length t.inbox
+
+(* Snapshot of the shard-private registry; meaningful to merge once the
+   shard has exited (counters stop moving). *)
+let metrics_snapshot t = Obs.Metrics.snapshot t.metrics
+
+let push_reply t conn msg = ignore (Chan.try_push t.outbox (conn, msg))
+
+let do_step t =
+  let tasks = Chan.drain t.inbox in
+  let depth = List.length tasks in
+  let t0 = Obs.Span.start () in
+  Obs.Metrics.set t.metrics
+    (Printf.sprintf "serve.shard%d.queue_depth" t.index)
+    (float_of_int depth);
+  Obs.Metrics.observe t.metrics "serve.queue_depth" (float_of_int depth);
+  List.iter
+    (fun task ->
+       (* alternatives outside this shard's slice cannot be honoured:
+          drop them (counted — never silent) and schedule on the rest *)
+       let local =
+         List.filter_map
+           (fun a -> if owns t a then Some (a - t.lo) else None)
+           task.alternatives
+       in
+       let dropped = List.length task.alternatives - List.length local in
+       if dropped > 0 then
+         Obs.Metrics.incr ~by:dropped t.metrics
+           "serve.truncated_alternatives";
+       match Live.submit t.live ~alternatives:local ~deadline:task.deadline with
+       | Ok id -> Hashtbl.replace t.tags id (task.conn, task.tag)
+       | Error m ->
+         Obs.Metrics.incr t.metrics "serve.rejected.invalid";
+         push_reply t task.conn
+           (Protocol.Rejected
+              { tag = task.tag; reason = Protocol.Invalid m }))
+    tasks;
+  let outcome = Live.step t.live in
+  let reply id msg =
+    match Hashtbl.find_opt t.tags id with
+    | Some (conn, tag) ->
+      Hashtbl.remove t.tags id;
+      push_reply t conn (msg ~tag)
+    | None -> () (* unreachable: every admitted id has a tag entry *)
+  in
+  List.iter
+    (fun (id, resource) ->
+       reply id (fun ~tag ->
+           Protocol.Scheduled
+             { tag; round = outcome.Live.round; resource = resource + t.lo }))
+    outcome.Live.served;
+  List.iter
+    (fun id -> reply id (fun ~tag -> Protocol.Expired { tag }))
+    outcome.Live.expired;
+  Obs.Metrics.incr ~by:(List.length outcome.Live.served) t.metrics
+    "serve.served";
+  Obs.Metrics.incr ~by:(List.length outcome.Live.expired) t.metrics
+    "serve.expired";
+  Obs.Metrics.observe t.metrics "serve.tick_us" (Obs.Span.elapsed t0 *. 1e6);
+  Atomic.incr t.stepped
+
+let drained t ~draining =
+  Atomic.get draining && Chan.length t.inbox = 0 && Live.pending t.live = 0
+
+(* The domain body.  Interval mode ticks on a drift-free schedule;
+   manual mode follows the shared target, except while draining, when
+   the shard self-ticks so in-flight requests still reach their
+   deadlines after the ticking client is gone. *)
+let run t ~tick ~draining =
+  let finally () = Atomic.set t.exited true in
+  Fun.protect ~finally (fun () ->
+      try
+        (match tick with
+         | Every dt ->
+           let start = Unix.gettimeofday () in
+           let rec loop () =
+             if not (drained t ~draining) then begin
+               let next =
+                 start +. (float_of_int (Atomic.get t.stepped + 1) *. dt)
+               in
+               let rec pace () =
+                 let remaining = next -. Unix.gettimeofday () in
+                 if remaining > 0.0 && not (drained t ~draining) then begin
+                   (try Unix.sleepf (Float.min remaining 0.01)
+                    with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                   pace ()
+                 end
+               in
+               pace ();
+               if not (drained t ~draining) then begin
+                 do_step t;
+                 loop ()
+               end
+             end
+           in
+           loop ()
+         | Manual target ->
+           let rec loop () =
+             if not (drained t ~draining) then
+               if
+                 Atomic.get target > Atomic.get t.stepped
+                 || Atomic.get draining
+               then begin
+                 do_step t;
+                 loop ()
+               end
+               else begin
+                 (try Unix.sleepf 0.0002
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                 loop ()
+               end
+           in
+           loop ())
+      with exn ->
+        (* a crashing strategy must not take the server down: record,
+           report, and let the other shards keep serving *)
+        Obs.Metrics.incr t.metrics "serve.shard_crashes";
+        Printf.eprintf "reqsched serve: shard %d crashed: %s\n%!" t.index
+          (Printexc.to_string exn))

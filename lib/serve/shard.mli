@@ -1,0 +1,64 @@
+(** A scheduling shard: one slice of the resource space, one domain.
+
+    The server partitions resources [0 .. n-1] into contiguous slices;
+    each shard owns a slice, a bounded inbox (the admission-control
+    queue) and a {!Sched.Engine.Live} engine it steps once per round
+    tick.  Requests are routed by their first alternative; alternatives
+    that fall outside the owning shard's slice are dropped and counted
+    ([serve.truncated_alternatives]) — a deliberate trade of choice
+    richness for shared-nothing parallelism (see DESIGN.md §4.8).
+
+    Metrics live in a shard-private registry ([serve.served],
+    [serve.expired], [serve.rejected.invalid], [serve.queue_depth] and
+    [serve.tick_us] histograms, a [serve.shard<i>.queue_depth] gauge,
+    plus the engine's own [engine.*]); the server merges all shard
+    snapshots after the domains exit, which is exact by the registry
+    merge law. *)
+
+type task = {
+  conn : int;               (** connection id, for reply routing *)
+  tag : int;                (** client's tag, echoed in responses *)
+  alternatives : int list;  (** global resource ids; the first one must
+                                lie in this shard's slice *)
+  deadline : int;
+}
+
+type tick_source =
+  | Every of float
+      (** real time: one round every so many seconds, drift-free *)
+  | Manual of int Atomic.t
+      (** logical time: step while [stepped < target]; the I/O domain
+          bumps the target on each wire [tick] *)
+
+type t
+
+val create :
+  index:int -> lo:int -> hi:int -> d:int -> queue_capacity:int ->
+  strategy:Sched.Strategy.factory ->
+  outbox:(int * Protocol.server_msg) Chan.t -> t
+(** A shard owning global resources [lo .. hi-1].
+    @raise Invalid_argument if the range is empty. *)
+
+val index : t -> int
+val owns : t -> int -> bool
+
+val try_admit : t -> task -> bool
+(** Push onto the inbox; [false] when the queue is at capacity (the
+    caller sends the explicit overload reject). *)
+
+val run : t -> tick:tick_source -> draining:bool Atomic.t -> unit
+(** The domain body: tick, drain inbox, step the engine, push replies.
+    Returns once [draining] is set {e and} every admitted request has
+    reached a terminal outcome (in manual mode the shard self-ticks
+    while draining so windows still close).  A crashing strategy is
+    caught, counted ([serve.shard_crashes]) and logged — the other
+    shards keep serving. *)
+
+val stepped : t -> int
+(** Rounds completed so far (readable from any domain). *)
+
+val has_exited : t -> bool
+val queue_depth : t -> int
+
+val metrics_snapshot : t -> Obs.Metrics.snapshot
+(** Stable once {!has_exited}. *)

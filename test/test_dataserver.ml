@@ -149,6 +149,51 @@ let test_sessions_hot_item_correlation () =
   check Alcotest.bool "hot pair dominates" true
     (2 * hits > Instance.n_requests inst)
 
+(* Replay the generator's RNG draws (poisson newcomers, then zipf item
+   and geometric length per session — the documented draw order) and
+   check the published session_stats and the instance size against the
+   independent count, across seeds. *)
+let test_sessions_stats_agree () =
+  List.iter
+    (fun seed ->
+       let rounds = 70 and arrivals_per_round = 1.3 and mean_length = 6 in
+       let disks = 5 and items = 17 in
+       let gen () = Placement.partner ~disks ~items ~copies:2 in
+       let inst, stats =
+         Trace.sessions
+           ~rng:(Rng.create ~seed)
+           ~placement:(gen ()) ~rounds ~arrivals_per_round ~mean_length ~d:3
+           ()
+       in
+       let rng = Rng.create ~seed in
+       let started = ref 0 and total_length = ref 0 and events = ref 0 in
+       for round = 0 to rounds - 1 do
+         let newcomers = Rng.poisson rng ~lambda:arrivals_per_round in
+         for _ = 1 to newcomers do
+           incr started;
+           ignore (Rng.zipf rng ~n:items ~s:1.0);
+           let length =
+             1 + Rng.geometric rng ~p:(1.0 /. float_of_int mean_length)
+           in
+           total_length := !total_length + length;
+           events := !events + min length (rounds - round)
+         done
+       done;
+       check Alcotest.int
+         (Printf.sprintf "started (seed %d)" seed)
+         !started stats.Trace.started;
+       check
+         (Alcotest.float 1e-9)
+         (Printf.sprintf "mean_length (seed %d)" seed)
+         (if !started = 0 then 0.0
+          else float_of_int !total_length /. float_of_int !started)
+         stats.Trace.mean_length;
+       (* every untruncated per-round event becomes exactly one request *)
+       check Alcotest.int
+         (Printf.sprintf "request count (seed %d)" seed)
+         !events (Instance.n_requests inst))
+    [ 1; 2; 3; 17; 42; 1999 ]
+
 let test_trace_validation () =
   let rng = Rng.create ~seed:0 in
   let p = Placement.partner ~disks:2 ~items:2 ~copies:1 in
@@ -181,6 +226,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_sessions_deterministic;
           Alcotest.test_case "hot item correlation" `Quick
             test_sessions_hot_item_correlation;
+          Alcotest.test_case "stats agree with direct counts" `Quick
+            test_sessions_stats_agree;
           Alcotest.test_case "validation" `Quick test_trace_validation;
         ] );
     ]

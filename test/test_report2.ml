@@ -140,6 +140,24 @@ let test_texttable_accessors () =
     [ [ "a"; "" ] ]
     (Prelude.Texttable.rows t)
 
+(* ------------------------------------------------------------------ *)
+(* Harness.ratio_of *)
+
+let test_ratio_of () =
+  check (Alcotest.float 1e-9) "normal" 1.25
+    (Report.Harness.ratio_of ~opt:5 ~served:4);
+  check (Alcotest.float 1e-9) "both zero" 1.0
+    (Report.Harness.ratio_of ~opt:0 ~served:0);
+  check Alcotest.bool "served zero, opt positive" true
+    (Report.Harness.ratio_of ~opt:7 ~served:0 = infinity);
+  (* the regression the compare/sweep tables had: opt /. max 1 served
+     silently printed opt itself for a shut-out strategy *)
+  check Alcotest.bool "not the naive guard" true
+    (Report.Harness.ratio_of ~opt:7 ~served:0 <> 7.0);
+  check Alcotest.string "renders as inf, not a number" "inf"
+    (Printf.sprintf "%.4f" (Report.Harness.ratio_of ~opt:7 ~served:0)
+     |> fun s -> String.sub s 0 3)
+
 let qtest ?(count = 80) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
@@ -205,6 +223,8 @@ let () =
           Alcotest.test_case "texttable accessors" `Quick
             test_texttable_accessors;
         ] );
+      ( "harness",
+        [ Alcotest.test_case "ratio_of" `Quick test_ratio_of ] );
       ( "properties",
         [ prop_gantt_glyphs_match_served; prop_csv_outcome_row_count ] );
     ]

@@ -481,6 +481,136 @@ let prop_served_never_exceeds_opt =
            Localstrat.Local.eager ();
          ])
 
+(* ------------------------------------------------------------------ *)
+(* codec: the trace format shared with the wire protocol *)
+
+let test_codec_roundtrip_simple () =
+  let inst = simple_instance () in
+  let s = Sched.Codec.to_string inst in
+  match Sched.Codec.of_string s with
+  | Error m -> Alcotest.failf "of_string failed: %s" m
+  | Ok inst' ->
+    check Alcotest.int "n" inst.Instance.n_resources inst'.Instance.n_resources;
+    check Alcotest.int "d" inst.Instance.d inst'.Instance.d;
+    check Alcotest.string "canonical" s (Sched.Codec.to_string inst')
+
+let test_codec_rejects () =
+  let expect_error what s =
+    match Sched.Codec.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected parse error" what
+  in
+  expect_error "empty" "";
+  expect_error "bad version" "instance rsp/9 n=2 d=1 requests=0\nend\n";
+  expect_error "count mismatch"
+    "instance rsp/1 n=2 d=1 requests=2\nreq 0 0 1\nend\n";
+  expect_error "missing end" "instance rsp/1 n=2 d=1 requests=0\n";
+  expect_error "negative resource"
+    "instance rsp/1 n=2 d=1 requests=1\nreq 0 -1 1\nend\n";
+  expect_error "resource out of range"
+    "instance rsp/1 n=2 d=1 requests=1\nreq 0 5 1\nend\n";
+  expect_error "deadline above d"
+    "instance rsp/1 n=2 d=1 requests=1\nreq 0 0 3\nend\n"
+
+let prop_codec_roundtrip =
+  qtest ~count:100 "codec round-trips any instance" instance_arb
+    (fun spec ->
+       let inst = build_random spec in
+       let s = Sched.Codec.to_string inst in
+       match Sched.Codec.of_string s with
+       | Error m -> QCheck.Test.fail_reportf "of_string: %s" m
+       | Ok inst' ->
+         inst'.Instance.n_resources = inst.Instance.n_resources
+         && inst'.Instance.d = inst.Instance.d
+         && Sched.Codec.to_string inst' = s
+         && Array.for_all2
+              (fun (a : Request.t) (b : Request.t) ->
+                 a.Request.arrival = b.Request.arrival
+                 && a.Request.deadline = b.Request.deadline
+                 && a.Request.alternatives = b.Request.alternatives)
+              inst.Instance.requests inst'.Instance.requests)
+
+(* ------------------------------------------------------------------ *)
+(* live engine: differential against the batch engine *)
+
+(* Feed an instance's arrival schedule through Engine.Live round by
+   round and collect the terminal outcomes. *)
+let drive_live inst factory =
+  let live =
+    Engine.Live.create ~n:inst.Instance.n_resources ~d:inst.Instance.d
+      factory
+  in
+  let served = Hashtbl.create 64 and expired = ref [] in
+  let horizon = inst.Instance.horizon in
+  (* run d extra rounds so the last arrivals' windows close too *)
+  for round = 0 to horizon + inst.Instance.d do
+    if round < horizon then
+      Array.iter
+        (fun (r : Request.t) ->
+           match
+             Engine.Live.submit live
+               ~alternatives:(Array.to_list r.Request.alternatives)
+               ~deadline:r.Request.deadline
+           with
+           | Ok id -> check Alcotest.int "dense ids" r.Request.id id
+           | Error m -> Alcotest.failf "submit rejected: %s" m)
+        (Instance.arrivals_at inst round);
+    let o = Engine.Live.step live in
+    check Alcotest.int "round echoed" round o.Engine.Live.round;
+    List.iter
+      (fun (id, res) -> Hashtbl.replace served id (res, round))
+      o.Engine.Live.served;
+    expired := o.Engine.Live.expired @ !expired
+  done;
+  (live, served, !expired)
+
+let prop_live_matches_batch =
+  qtest ~count:80 "live engine agrees with the batch engine" instance_arb
+    (fun spec ->
+       let inst = build_random spec in
+       let factory = Strategies.Global.balance () in
+       let batch = Engine.run inst factory in
+       let live, served, expired = drive_live inst factory in
+       (* identical service decisions, request by request *)
+       Array.iteri
+         (fun id sv ->
+            let live_sv = Hashtbl.find_opt served id in
+            if sv <> live_sv then
+              QCheck.Test.fail_reportf
+                "request %d: batch %s, live %s" id
+                (match sv with
+                 | Some (res, r) -> Printf.sprintf "S%d@%d" res r
+                 | None -> "unserved")
+                (match live_sv with
+                 | Some (res, r) -> Printf.sprintf "S%d@%d" res r
+                 | None -> "unserved"))
+         batch.Outcome.served_at;
+       batch.Outcome.served = Hashtbl.length served
+       && List.length expired = Instance.n_requests inst - batch.Outcome.served
+       && Engine.Live.pending live = 0
+       && Engine.Live.submitted live = Instance.n_requests inst)
+
+let test_live_validation () =
+  let live = Engine.Live.create ~n:4 ~d:2 (Strategies.Global.balance ()) in
+  (match Engine.Live.submit live ~alternatives:[ 0; 9 ] ~deadline:1 with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "resource out of range accepted");
+  (match Engine.Live.submit live ~alternatives:[ 0 ] ~deadline:3 with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "deadline above d accepted");
+  (match Engine.Live.submit live ~alternatives:[] ~deadline:1 with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty alternatives accepted");
+  check Alcotest.int "nothing admitted" 0 (Engine.Live.pending live);
+  match Engine.Live.submit live ~alternatives:[ 1; 2 ] ~deadline:2 with
+  | Error m -> Alcotest.failf "valid submit rejected: %s" m
+  | Ok id ->
+    check Alcotest.int "first id" 0 id;
+    let o = Engine.Live.step live in
+    check Alcotest.bool "served on first step" true
+      (List.mem_assoc 0 o.Engine.Live.served);
+    check Alcotest.bool "is_served" true (Engine.Live.is_served live 0)
+
 let () =
   Alcotest.run "sched"
     [
@@ -536,5 +666,17 @@ let () =
         [
           prop_engine_consistency_all_strategies;
           prop_served_never_exceeds_opt;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip simple" `Quick
+            test_codec_roundtrip_simple;
+          Alcotest.test_case "rejects malformed" `Quick test_codec_rejects;
+          prop_codec_roundtrip;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "submit validation" `Quick test_live_validation;
+          prop_live_matches_batch;
         ] );
     ]

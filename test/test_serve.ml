@@ -1,0 +1,466 @@
+(* Tests for the live scheduling service: wire protocol round-trips,
+   the bounded channel, and end-to-end server/client runs on loopback
+   unix sockets (exactly-one-terminal, byte-identical replay, explicit
+   overload rejection, client-failure isolation, graceful drain). *)
+
+module Protocol = Serve.Protocol
+module Chan = Serve.Chan
+module Server = Serve.Server
+module Client = Serve.Client
+module Instance = Sched.Instance
+module Request = Sched.Request
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* protocol round-trips *)
+
+(* a client/server name: one non-empty space-free token *)
+let name_gen =
+  QCheck.Gen.(
+    string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+
+(* rest-of-line free text: printable, no newlines (spaces allowed) *)
+let detail_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneof [ char_range 'a' 'z'; return ' ' ]) (int_range 0 12))
+
+let request_gen =
+  QCheck.Gen.(
+    int_range 0 10_000 >>= fun tag ->
+    list_size (int_range 1 4) (int_range 0 99) >>= fun alternatives ->
+    int_range 1 20 >>= fun deadline ->
+    (* the codec rejects duplicate resources *)
+    let alternatives = List.sort_uniq compare alternatives in
+    return { Protocol.tag; alternatives; deadline })
+
+let client_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun client -> Protocol.Hello { client }) name_gen;
+        map (fun r -> Protocol.Submit r) request_gen;
+        return Protocol.Tick;
+        return Protocol.Bye;
+      ])
+
+let reason_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Protocol.Overload;
+        return Protocol.Draining;
+        map (fun d -> Protocol.Invalid d) detail_gen;
+      ])
+
+let server_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun server -> Protocol.Welcome { server }) name_gen;
+        (int_range 0 9999 >>= fun tag ->
+         int_range 0 9999 >>= fun round ->
+         int_range 0 99 >>= fun resource ->
+         return (Protocol.Scheduled { tag; round; resource }));
+        (int_range 0 9999 >>= fun tag ->
+         reason_gen >>= fun reason ->
+         return (Protocol.Rejected { tag; reason }));
+        map (fun tag -> Protocol.Expired { tag }) (int_range 0 9999);
+        map (fun round -> Protocol.Round { round }) (int_range 0 9999);
+        map (fun message -> Protocol.Error { message }) detail_gen;
+      ])
+
+let prop_client_roundtrip =
+  qtest "client messages round-trip"
+    (QCheck.make client_msg_gen ~print:Protocol.render_client)
+    (fun m ->
+       let line = Protocol.render_client m in
+       (not (String.contains line '\n'))
+       && Protocol.parse_client line = Ok m)
+
+let prop_server_roundtrip =
+  qtest "server messages round-trip"
+    (QCheck.make server_msg_gen ~print:Protocol.render_server)
+    (fun m ->
+       let line = Protocol.render_server m in
+       (not (String.contains line '\n'))
+       && Protocol.parse_server line = Ok m)
+
+let test_protocol_rejects () =
+  let bad_client =
+    [
+      ""; "nope"; "hello"; "hello rsp/1"; "hello rsp/9 x"; "req";
+      "req x 0 1"; "req 0 0,0 1"; "req -1 0 1"; "req 0 0 0"; "req 0  1";
+    ]
+  in
+  List.iter
+    (fun line ->
+       match Protocol.parse_client line with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "client line %S accepted" line)
+    bad_client;
+  let bad_server =
+    [ ""; "welcome"; "welcome rsp/0 x"; "sched 1 2"; "rej"; "rej x";
+      "rej 0 nonsense"; "exp"; "round x" ]
+  in
+  List.iter
+    (fun line ->
+       match Protocol.parse_server line with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "server line %S accepted" line)
+    bad_server
+
+let test_terminal_classification () =
+  let open Protocol in
+  check Alcotest.(option int) "sched" (Some 3)
+    (terminal_tag (Scheduled { tag = 3; round = 0; resource = 1 }));
+  check Alcotest.(option int) "rej" (Some 4)
+    (terminal_tag (Rejected { tag = 4; reason = Overload }));
+  check Alcotest.(option int) "exp" (Some 5) (terminal_tag (Expired { tag = 5 }));
+  check Alcotest.(option int) "round" None (terminal_tag (Round { round = 9 }));
+  check Alcotest.bool "welcome not terminal" false
+    (is_terminal (Welcome { server = "x" }))
+
+(* ------------------------------------------------------------------ *)
+(* bounded channel *)
+
+let test_chan_fifo_and_bound () =
+  let c = Chan.create ~capacity:3 in
+  check Alcotest.bool "push 1" true (Chan.try_push c 1);
+  check Alcotest.bool "push 2" true (Chan.try_push c 2);
+  check Alcotest.bool "push 3" true (Chan.try_push c 3);
+  check Alcotest.bool "push 4 over capacity" false (Chan.try_push c 4);
+  check Alcotest.int "length" 3 (Chan.length c);
+  check Alcotest.(list int) "fifo drain" [ 1; 2; 3 ] (Chan.drain c);
+  check Alcotest.int "empty after drain" 0 (Chan.length c);
+  check Alcotest.bool "push after drain" true (Chan.try_push c 5);
+  check Alcotest.(list int) "drained again" [ 5 ] (Chan.drain c)
+
+let test_chan_concurrent () =
+  let c = Chan.create ~capacity:max_int in
+  let producers = 4 and per = 500 in
+  let domains =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (Chan.try_push c ((p * per) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let all = Chan.drain c in
+  check Alcotest.int "all pushes kept" (producers * per) (List.length all);
+  check Alcotest.int "no duplicates"
+    (producers * per)
+    (List.length (List.sort_uniq compare all));
+  (* each producer's own pushes stay in order *)
+  List.iteri
+    (fun p () ->
+       let mine = List.filter (fun v -> v / per = p) all in
+       check Alcotest.bool
+         (Printf.sprintf "producer %d order preserved" p)
+         true
+         (List.sort compare mine = mine))
+    (List.init producers (fun _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* address parsing *)
+
+let test_addr_of_string () =
+  (match Server.addr_of_string "tcp:127.0.0.1:7477" with
+   | Ok (Server.Tcp ("127.0.0.1", 7477)) -> ()
+   | _ -> Alcotest.fail "tcp parse");
+  (match Server.addr_of_string "unix:/tmp/x.sock" with
+   | Ok (Server.Unix_sock "/tmp/x.sock") -> ()
+   | _ -> Alcotest.fail "unix parse");
+  List.iter
+    (fun s ->
+       match Server.addr_of_string s with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "%S accepted" s)
+    [ ""; "tcp:"; "tcp:host"; "tcp:host:notaport"; "unix:"; "ftp:x" ]
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end on loopback unix sockets *)
+
+let fresh_sock_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "reqsched_test_%d_%d.sock" (Unix.getpid ()) !counter)
+
+(* Start a server, run [f], then drain and return (f's result, final
+   metrics snapshot). *)
+let with_server ?(shards = 2) ?(n = 8) ?(d = 4) ?(queue_capacity = 1024)
+    ?(tick = `Manual) f =
+  let path = fresh_sock_path () in
+  let cfg =
+    {
+      Server.addr = Server.Unix_sock path;
+      n_resources = n;
+      d;
+      shards;
+      strategy = (fun ~shard:_ -> Strategies.Global.balance ());
+      tick;
+      queue_capacity;
+      read_timeout = 10.0;
+      name = "test";
+    }
+  in
+  match Server.start cfg with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok srv ->
+    let finally () =
+      Server.drain srv;
+      ignore (Server.wait srv);
+      try Sys.remove path with Sys_error _ -> ()
+    in
+    let result =
+      try f (Server.Unix_sock path) srv
+      with e ->
+        finally ();
+        raise e
+    in
+    Server.drain srv;
+    let snap = Server.wait srv in
+    (try Sys.remove path with Sys_error _ -> ());
+    (result, snap)
+
+let counter snap name =
+  match List.assoc_opt name snap with
+  | Some (Obs.Metrics.Counter v) -> v
+  | Some _ | None -> 0
+
+let random_instance ~n ~d ~rounds ~load ~seed =
+  let rng = Prelude.Rng.create ~seed in
+  Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load ()
+
+let run_open ?(tick = `Manual) addr inst =
+  match Client.open_loop ~addr ~inst ~tick () with
+  | Error m -> Alcotest.failf "open_loop: %s" m
+  | Ok r -> r
+
+let test_e2e_exactly_one_terminal () =
+  let inst = random_instance ~n:8 ~d:4 ~rounds:30 ~load:1.5 ~seed:11 in
+  let r, snap =
+    with_server ~shards:2 ~n:8 ~d:4 (fun addr _ -> run_open addr inst)
+  in
+  check Alcotest.int "every request submitted"
+    (Instance.n_requests inst) r.Client.submitted;
+  check Alcotest.int "terminals partition the submissions"
+    r.Client.submitted
+    (r.Client.scheduled + r.Client.rejected + r.Client.expired);
+  check Alcotest.int "one decision per tag" r.Client.submitted
+    (Array.length r.Client.decisions);
+  check Alcotest.bool "something got scheduled" true (r.Client.scheduled > 0);
+  (* server-side accounting agrees with the client's view *)
+  check Alcotest.int "server served counter" r.Client.scheduled
+    (counter snap "serve.served");
+  check Alcotest.int "server expired counter" r.Client.expired
+    (counter snap "serve.expired");
+  check Alcotest.int "no client errors" 0 (counter snap "serve.client_errors");
+  check Alcotest.int "no dropped responses" 0
+    (counter snap "serve.responses_dropped")
+
+let decisions_of_fresh_run ~shards inst =
+  let r, _ = with_server ~shards ~n:8 ~d:4 (fun addr _ -> run_open addr inst) in
+  Client.render_decisions r
+
+let test_e2e_replay_deterministic () =
+  let inst = random_instance ~n:8 ~d:4 ~rounds:25 ~load:1.3 ~seed:5 in
+  List.iter
+    (fun shards ->
+       let a = decisions_of_fresh_run ~shards inst in
+       let b = decisions_of_fresh_run ~shards inst in
+       check Alcotest.string
+         (Printf.sprintf "byte-identical decisions at %d shard(s)" shards)
+         a b;
+       check Alcotest.bool "log is non-trivial" true (String.length a > 0))
+    [ 1; 2 ]
+
+let test_e2e_codec_replay_equals_original () =
+  (* save the trace, reload it, and check the reloaded instance drives
+     the server to the same decisions — the save/load/wire grammar is
+     one and the same *)
+  let inst = random_instance ~n:8 ~d:4 ~rounds:20 ~load:1.2 ~seed:23 in
+  let path = Filename.temp_file "reqsched_trace" ".rsp" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       Sched.Codec.save ~path inst;
+       let inst' =
+         match Sched.Codec.load ~path with
+         | Ok i -> i
+         | Error m -> Alcotest.failf "trace load: %s" m
+       in
+       let a = decisions_of_fresh_run ~shards:2 inst in
+       let b = decisions_of_fresh_run ~shards:2 inst' in
+       check Alcotest.string "trace replay matches live run" a b)
+
+let test_e2e_interval_tick () =
+  let inst = random_instance ~n:6 ~d:3 ~rounds:15 ~load:1.0 ~seed:7 in
+  let r, _ =
+    with_server ~shards:2 ~n:6 ~d:3 ~tick:(`Every 0.01) (fun addr _ ->
+        run_open ~tick:(`Every 0.01) addr inst)
+  in
+  check Alcotest.int "all terminals collected" r.Client.submitted
+    (r.Client.scheduled + r.Client.rejected + r.Client.expired)
+
+let test_e2e_overload_rejects () =
+  (* ten same-resource requests land in one un-ticked round against a
+     capacity-1 inbox: one admitted, nine explicit overload rejects *)
+  let inst =
+    Instance.build ~n_resources:8 ~d:4
+      (List.init 10 (fun _ ->
+           Request.make ~arrival:0 ~alternatives:[ 0 ] ~deadline:4))
+  in
+  let r, snap =
+    with_server ~shards:2 ~n:8 ~d:4 ~queue_capacity:1 (fun addr _ ->
+        run_open addr inst)
+  in
+  check Alcotest.int "one admitted and served" 1 r.Client.scheduled;
+  check Alcotest.int "rest rejected, not dropped" 9 r.Client.rejected;
+  check Alcotest.int "overload counter" 9
+    (counter snap "serve.rejected.overload");
+  check Alcotest.int "still exactly one terminal each" 10
+    (Array.length r.Client.decisions)
+
+let test_e2e_closed_loop () =
+  let inst = random_instance ~n:8 ~d:4 ~rounds:10 ~load:1.0 ~seed:9 in
+  let r, _ =
+    with_server ~shards:2 ~n:8 ~d:4 ~tick:(`Every 0.005) (fun addr _ ->
+        match Client.closed_loop ~addr ~inst ~users:8 ~total:60 () with
+        | Error m -> Alcotest.failf "closed_loop: %s" m
+        | Ok r -> r)
+  in
+  check Alcotest.int "total resolved" 60
+    (r.Client.scheduled + r.Client.rejected + r.Client.expired);
+  check Alcotest.int "total submitted" 60 r.Client.submitted
+
+let test_e2e_client_failure_isolated () =
+  let inst = random_instance ~n:8 ~d:4 ~rounds:12 ~load:1.2 ~seed:31 in
+  let (), snap =
+    with_server ~shards:2 ~n:8 ~d:4 (fun addr _ ->
+        (* rude client: greet, submit with requests in flight, vanish *)
+        (match Client.connect addr ~client:"rude" with
+         | Error m -> Alcotest.failf "rude connect: %s" m
+         | Ok conn ->
+           List.iter
+             (fun tag ->
+                match
+                  Client.send conn
+                    (Protocol.Submit
+                       { Protocol.tag; alternatives = [ 0; 4 ]; deadline = 2 })
+                with
+                | Ok () -> ()
+                | Error m -> Alcotest.failf "rude submit: %s" m)
+             [ 0; 1; 2 ];
+           Client.close conn);
+        (* give the I/O loop a moment to observe the EOF *)
+        Unix.sleepf 0.1;
+        (* a well-behaved client is unaffected *)
+        let r = run_open addr inst in
+        check Alcotest.int "healthy client unaffected" r.Client.submitted
+          (r.Client.scheduled + r.Client.rejected + r.Client.expired))
+  in
+  check Alcotest.bool "abrupt close with inflight counted" true
+    (counter snap "serve.client_errors" >= 1);
+  check Alcotest.int "no shard crashed" 0 (counter snap "serve.shard_crashes")
+
+let test_e2e_draining_rejects_new_submissions () =
+  (* a slow interval ticker keeps the in-flight request's window open
+     long enough that the drain is still in progress when the late
+     submission arrives *)
+  let (), snap =
+    with_server ~shards:1 ~n:4 ~d:3 ~tick:(`Every 0.15) (fun addr srv ->
+        match Client.connect addr ~client:"late" with
+        | Error m -> Alcotest.failf "connect: %s" m
+        | Ok conn ->
+          (match
+             Client.send conn
+               (Protocol.Submit
+                  { Protocol.tag = 0; alternatives = [ 0 ]; deadline = 3 })
+           with
+           | Ok () -> ()
+           | Error m -> Alcotest.failf "inflight send: %s" m);
+          Unix.sleepf 0.03;
+          Server.drain srv;
+          Unix.sleepf 0.03;
+          (match
+             Client.send conn
+               (Protocol.Submit
+                  { Protocol.tag = 1; alternatives = [ 1 ]; deadline = 1 })
+           with
+           | Ok () -> ()
+           | Error m -> Alcotest.failf "late send: %s" m);
+          (* collect both terminals: the late one a draining reject, the
+             in-flight one served to its deadline *)
+          let seen = Hashtbl.create 4 in
+          let rec collect () =
+            if Hashtbl.length seen < 2 then
+              match Client.recv ~timeout:5.0 conn with
+              | Ok msg ->
+                (match Protocol.terminal_tag msg with
+                 | Some tag -> Hashtbl.replace seen tag msg
+                 | None -> ());
+                collect ()
+              | Error m -> Alcotest.failf "recv: %s" m
+          in
+          collect ();
+          (match Hashtbl.find_opt seen 1 with
+           | Some (Protocol.Rejected { reason = Protocol.Draining; _ }) -> ()
+           | Some m ->
+             Alcotest.failf "expected draining reject for tag 1, got %S"
+               (Protocol.render_server m)
+           | None -> Alcotest.fail "no terminal for tag 1");
+          (match Hashtbl.find_opt seen 0 with
+           | Some (Protocol.Scheduled _) -> ()
+           | Some m ->
+             Alcotest.failf "expected tag 0 served during drain, got %S"
+               (Protocol.render_server m)
+           | None -> Alcotest.fail "no terminal for tag 0");
+          Client.close conn)
+  in
+  check Alcotest.bool "draining reject counted" true
+    (counter snap "serve.rejected.draining" >= 1)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          prop_client_roundtrip;
+          prop_server_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_protocol_rejects;
+          Alcotest.test_case "terminal classification" `Quick
+            test_terminal_classification;
+        ] );
+      ( "chan",
+        [
+          Alcotest.test_case "fifo and bound" `Quick test_chan_fifo_and_bound;
+          Alcotest.test_case "concurrent producers" `Quick
+            test_chan_concurrent;
+        ] );
+      ( "addr",
+        [ Alcotest.test_case "parse" `Quick test_addr_of_string ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "exactly one terminal" `Quick
+            test_e2e_exactly_one_terminal;
+          Alcotest.test_case "replay deterministic" `Quick
+            test_e2e_replay_deterministic;
+          Alcotest.test_case "codec trace replays identically" `Quick
+            test_e2e_codec_replay_equals_original;
+          Alcotest.test_case "interval ticker" `Quick test_e2e_interval_tick;
+          Alcotest.test_case "overload rejects explicitly" `Quick
+            test_e2e_overload_rejects;
+          Alcotest.test_case "closed loop" `Quick test_e2e_closed_loop;
+          Alcotest.test_case "client failure isolated" `Quick
+            test_e2e_client_failure_isolated;
+          Alcotest.test_case "draining rejects" `Quick
+            test_e2e_draining_rejects_new_submissions;
+        ] );
+    ]

@@ -8,9 +8,13 @@
 
    Flags:
      --quick        small parameters (the test suite's sizes)
-     --no-micro     skip the Bechamel timing runs
-     --only ID      run a single experiment (by id prefix, e.g. T1.fix)
+     --no-micro     skip the bench families (B.micro .. B.serve)
+     --only ID      run a single experiment or bench family (by id
+                    prefix, e.g. T1.fix or B.scale)
      --csv DIR      also write each experiment table as DIR/<id>.csv
+     --json FILE    dump every bench measurement as machine-readable
+                    family/metric/value records (the perf trajectory
+                    baseline committed as BENCH_scale.json)
      --jobs N       worker domains for the experiment job runner
      --cache-dir D  cache job results under D (with --resume: read too)
      --resume       answer jobs from the cache when possible
@@ -34,8 +38,8 @@ let string_flag name =
   | Error msg ->
     Printf.eprintf
       "bench: %s\nusage: main.exe [--quick] [--no-micro] [--only ID] [--csv \
-       DIR] [--jobs N] [--cache-dir DIR] [--resume] [--retries K] \
-       [--metrics FMT] [--metrics-out FILE] [--no-metrics]\n"
+       DIR] [--json FILE] [--jobs N] [--cache-dir DIR] [--resume] \
+       [--retries K] [--metrics FMT] [--metrics-out FILE] [--no-metrics]\n"
       msg;
     exit 2
 
@@ -50,6 +54,46 @@ let int_flag name =
        exit 2)
 
 let only_filter () = string_flag "--only"
+
+(* ------------------------------------------------------------------ *)
+(* bench checks and the --json record sink *)
+
+let bench_check_failures = ref 0
+
+let check name ok =
+  Printf.printf "check: %s: %b\n%!" name ok;
+  if not ok then incr bench_check_failures
+
+(* Every bench family reports its measurements here; --json FILE dumps
+   them as one array of {family, params, metric, value} objects. *)
+let json_records :
+  (string * (string * string) list * string * float) list ref = ref []
+
+let record ~family ~params ~metric value =
+  json_records := (family, params, metric, value) :: !json_records
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (family, params, metric, value) ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "  {\"family\": %S, \"params\": {%s}, \"metric\": %S, \
+             \"value\": %s}"
+            family
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%S: %S" k v)
+                  params))
+            metric
+            (Printf.sprintf "%.17g" value)))
+    (List.rev !json_records);
+  Buffer.add_string buf "\n]\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* micro-benchmarks *)
@@ -141,50 +185,188 @@ let micro_tests () =
   ]
 
 (* A direct scaling table: microseconds per engine round as the system
-   grows -- the systems-facing cost model of the matching strategies. *)
+   grows -- the systems-facing cost model of the matching strategies.
+   Every shape times the warm-start kernel against the from-scratch
+   rebuild oracle and compares their outcomes: a disagreement is a
+   correctness bug, not a benchmark artifact, so both checks feed the
+   exit code. *)
+let outcomes_agree (a : Sched.Outcome.t) (b : Sched.Outcome.t) =
+  a.Sched.Outcome.served_at = b.Sched.Outcome.served_at
+  && a.Sched.Outcome.wasted = b.Sched.Outcome.wasted
+  && a.Sched.Outcome.per_round_served = b.Sched.Outcome.per_round_served
+
 let run_scale ~quick =
+  (* (n, d, rounds): rounds shrink at the top sizes so the rebuild
+     oracle (seconds per round at n=128) keeps the run bounded *)
   let shapes =
-    if quick then [ (4, 2); (8, 4) ]
-    else [ (4, 2); (8, 4); (16, 4); (16, 8); (32, 8) ]
+    if quick then [ (4, 2, 40); (8, 4, 40) ]
+    else
+      [ (4, 2, 100); (8, 4, 100); (16, 4, 100); (16, 8, 100);
+        (32, 8, 100); (64, 8, 60); (128, 8, 30) ]
   in
   let table =
     Prelude.Texttable.create
       ~title:
-        "B.scale  --  engine cost per round vs system size (random load \
-         1.1, mean over the run)"
+        "B.scale  --  us/round vs system size: warm-start kernel vs \
+         rebuild oracle (random load 1.1, mean over the run)"
       ~header:
-        [ "n"; "d"; "requests"; "A_fix us/round"; "A_balance us/round";
-          "A_local_eager us/round" ]
+        [ "n"; "d"; "requests"; "fix kern"; "fix reb"; "x"; "bal kern";
+          "bal reb"; "x"; "local"; "agree" ]
       ()
   in
+  let all_agree = ref true and never_slower = ref true in
   List.iter
-    (fun (n, d) ->
+    (fun (n, d, rounds) ->
        let rng = Prelude.Rng.create ~seed:21 in
-       let rounds = if quick then 40 else 100 in
        let inst =
          Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load:1.1 ()
        in
+       let horizon = float_of_int inst.Sched.Instance.horizon in
+       (* best-of-reps on the small shapes de-noises the never-slower
+          assertion; the big shapes are long enough to be stable *)
+       let reps = if n <= 16 then 3 else 1 in
        let time factory =
-         let t0 = Unix.gettimeofday () in
-         ignore (Sched.Engine.run inst factory : Sched.Outcome.t);
-         (Unix.gettimeofday () -. t0)
-         *. 1e6
-         /. float_of_int inst.Sched.Instance.horizon
+         let best = ref infinity and out = ref None in
+         for _ = 1 to reps do
+           let t0 = Unix.gettimeofday () in
+           let o = Sched.Engine.run inst factory in
+           let us = (Unix.gettimeofday () -. t0) *. 1e6 /. horizon in
+           if us < !best then best := us;
+           out := Some o
+         done;
+         (!best, Option.get !out)
        in
-       table
-       |> fun tbl ->
-       Prelude.Texttable.add_row tbl
+       let fix_k, out_fix_k = time (Strategies.Global.fix ()) in
+       let fix_r, out_fix_r =
+         time (Strategies.Global.fix ~solver:Strategies.Global.Rebuild ())
+       in
+       let bal_k, out_bal_k = time (Strategies.Global.balance ()) in
+       let bal_r, out_bal_r =
+         time (Strategies.Global.balance ~solver:Strategies.Global.Rebuild ())
+       in
+       let local, _ = time (Localstrat.Local.eager ()) in
+       let agree =
+         outcomes_agree out_fix_k out_fix_r
+         && outcomes_agree out_bal_k out_bal_r
+       in
+       if not agree then all_agree := false;
+       (* 10% tolerance absorbs scheduler jitter on the tiny shapes *)
+       if fix_k > fix_r *. 1.1 || bal_k > bal_r *. 1.1 then
+         never_slower := false;
+       let params =
+         [ ("n", string_of_int n); ("d", string_of_int d);
+           ("rounds", string_of_int rounds) ]
+       in
+       List.iter
+         (fun (metric, v) -> record ~family:"B.scale" ~params ~metric v)
+         [ ("fix_kernel_us_per_round", fix_k);
+           ("fix_rebuild_us_per_round", fix_r);
+           ("balance_kernel_us_per_round", bal_k);
+           ("balance_rebuild_us_per_round", bal_r);
+           ("local_eager_us_per_round", local) ];
+       Prelude.Texttable.add_row table
          [
            string_of_int n;
            string_of_int d;
            string_of_int (Sched.Instance.n_requests inst);
-           Printf.sprintf "%.1f" (time (Strategies.Global.fix ()));
-           Printf.sprintf "%.1f" (time (Strategies.Global.balance ()));
-           Printf.sprintf "%.1f" (time (Localstrat.Local.eager ()));
+           Printf.sprintf "%.1f" fix_k;
+           Printf.sprintf "%.1f" fix_r;
+           Printf.sprintf "%.1fx" (fix_r /. fix_k);
+           Printf.sprintf "%.1f" bal_k;
+           Printf.sprintf "%.1f" bal_r;
+           Printf.sprintf "%.1fx" (bal_r /. bal_k);
+           Printf.sprintf "%.1f" local;
+           string_of_bool agree;
          ])
     shapes;
   Prelude.Texttable.print table;
+  check "kernel outcomes match rebuild on every shape" !all_agree;
+  check "kernel never slower than rebuild (10% tolerance)" !never_slower;
   print_newline ()
+
+(* The served cost model: the same instance replayed through the full
+   server stack ([reqsched load] open-loop against a manual-tick
+   unix-socket server), kernel vs rebuild.  Manual ticks make the
+   decision stream a deterministic function of the instance, so the two
+   solvers must also produce byte-identical decision logs end to end --
+   a differential check through sharding, the wire protocol and the
+   live engine, not just Engine.run. *)
+let run_serve ~quick =
+  let n = 16 and d = 4 in
+  let rounds = if quick then 60 else 240 in
+  let rng = Prelude.Rng.create ~seed:55 in
+  let inst = Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load:1.1 () in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "reqsched-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let run_once solver =
+    if Sys.file_exists sock then Sys.remove sock;
+    let cfg =
+      {
+        Serve.Server.addr = Serve.Server.Unix_sock sock;
+        n_resources = n;
+        d;
+        shards = 2;
+        strategy = (fun ~shard:_ -> Strategies.Global.balance ~solver ());
+        tick = `Manual;
+        queue_capacity = 4096;
+        read_timeout = 10.0;
+        name = "bench";
+      }
+    in
+    match Serve.Server.start cfg with
+    | Error msg -> Error msg
+    | Ok srv ->
+      let rep =
+        Serve.Client.open_loop ~addr:cfg.Serve.Server.addr ~inst
+          ~tick:`Manual ()
+      in
+      Serve.Server.drain srv;
+      ignore (Serve.Server.wait srv : Obs.Metrics.snapshot);
+      rep
+  in
+  match run_once Strategies.Global.Kernel, run_once Strategies.Global.Rebuild
+  with
+  | Error msg, _ | _, Error msg ->
+    Printf.printf "B.serve: skipped (%s)\n\n%!" msg
+  | Ok kern, Ok reb ->
+    if Sys.file_exists sock then Sys.remove sock;
+    let table =
+      Prelude.Texttable.create
+        ~title:
+          (Printf.sprintf
+             "B.serve  --  open-loop replay through the server (n=%d d=%d \
+              %d rounds, 2 shards, A_balance, manual tick)"
+             n d rounds)
+        ~header:
+          [ "solver"; "submitted"; "scheduled"; "duration s"; "rounds/s" ]
+        ()
+    in
+    let row name (r : Serve.Client.report) =
+      let rps = float_of_int rounds /. r.Serve.Client.duration in
+      record ~family:"B.serve"
+        ~params:
+          [ ("n", string_of_int n); ("d", string_of_int d);
+            ("rounds", string_of_int rounds); ("solver", name) ]
+        ~metric:"rounds_per_s" rps;
+      Prelude.Texttable.add_row table
+        [
+          name;
+          string_of_int r.Serve.Client.submitted;
+          string_of_int r.Serve.Client.scheduled;
+          Printf.sprintf "%.3f" r.Serve.Client.duration;
+          Printf.sprintf "%.0f" rps;
+        ]
+    in
+    row "kernel" kern;
+    row "rebuild" reb;
+    Prelude.Texttable.print table;
+    check "served decisions: kernel == rebuild byte-identical"
+      (Serve.Client.render_decisions kern
+       = Serve.Client.render_decisions reb);
+    print_newline ()
 
 (* The anytime-monitoring cost model: the whole per-round OPT prefix
    curve by the incremental tracker vs one full Hopcroft-Karp solve per
@@ -238,7 +420,8 @@ let run_stream ~quick =
          ])
     shapes;
   Prelude.Texttable.print table;
-  Printf.printf "check: streaming >= 5x faster: %b\n\n%!" (!min_speedup >= 5.0)
+  check "streaming >= 5x faster" (!min_speedup >= 5.0);
+  print_newline ()
 
 (* The job-runner cost model: the same experiment battery executed
    serially, across domains, and against a warm on-disk cache.  The
@@ -296,9 +479,10 @@ let run_jobs ~quick =
   row "cache cold" cold_s cold_st;
   row "cache warm" warm_s warm_st;
   Prelude.Texttable.print table;
-  Printf.printf "check: warm cache answers everything: %b\n\n%!"
+  check "warm cache answers everything"
     (warm_st.Report.Jobs.executed = 0
-     && warm_st.Report.Jobs.cache_hits = warm_st.Report.Jobs.total)
+     && warm_st.Report.Jobs.cache_hits = warm_st.Report.Jobs.total);
+  print_newline ()
 
 let run_micro () =
   let tests = Test.make_grouped ~name:"reqsched" (micro_tests ()) in
@@ -368,21 +552,24 @@ let () =
     "reqsched reproduction harness -- Berenbrink, Riedel, Scheideler (SPAA \
      1999)\nmode: %s\n\n%!"
     (if quick then "quick" else "full");
-  if not (flag "--no-micro") then begin
-    run_micro ();
-    run_scale ~quick;
-    run_stream ~quick;
-    run_jobs ~quick
-  end;
-  let catalog =
-    match only_filter () with
-    | None -> Report.Experiments.catalog
+  let only = only_filter () in
+  let selected id =
+    match only with
+    | None -> true
     | Some prefix ->
-      List.filter
-        (fun (id, _) ->
-           String.length id >= String.length prefix
-           && String.sub id 0 (String.length prefix) = prefix)
-        Report.Experiments.catalog
+      String.length id >= String.length prefix
+      && String.sub id 0 (String.length prefix) = prefix
+  in
+  (* bench families have ids like the experiments, so --only B.scale
+     runs just that family (and no experiments) *)
+  let bench_family id f = if (not (flag "--no-micro")) && selected id then f () in
+  bench_family "B.micro" run_micro;
+  bench_family "B.scale" (fun () -> run_scale ~quick);
+  bench_family "B.stream" (fun () -> run_stream ~quick);
+  bench_family "B.jobs" (fun () -> run_jobs ~quick);
+  bench_family "B.serve" (fun () -> run_serve ~quick);
+  let catalog =
+    List.filter (fun (id, _) -> selected id) Report.Experiments.catalog
   in
   let ctx =
     Report.Jobs.create ?domains:(int_flag "--jobs")
@@ -413,8 +600,15 @@ let () =
   print_endline (Report.Jobs.summary ctx);
   Report.Jobs.finish ctx;
   Printf.printf "total: %d experiments, %d failed checks, %.1f s\n"
-    (List.length experiments) !failures
+    (List.length experiments)
+    (!failures + !bench_check_failures)
     (Unix.gettimeofday () -. t0);
+  (match string_flag "--json" with
+   | Some path ->
+     write_json path;
+     Printf.printf "json: wrote %s (%d records)\n" path
+       (List.length !json_records)
+   | None -> ());
   (match metrics with
    | None -> ()
    | Some m ->
@@ -423,4 +617,4 @@ let () =
      (match metrics_out with
       | Some path -> Printf.printf "metrics: wrote %s\n" path
       | None -> ()));
-  if !failures > 0 then exit 1
+  if !failures + !bench_check_failures > 0 then exit 1

@@ -47,8 +47,22 @@ let workload_arg =
   in
   Arg.(value & opt string "uniform" & info [ "w"; "workload" ] ~docv:"W" ~doc)
 
-let factory_of_name ~seed ?metrics name =
-  Report.Registry.factory_of_name ~seed ?metrics name
+let solver_arg =
+  let doc =
+    "Solver for the global strategies: kernel (warm-start incremental \
+     round kernel, the default) or rebuild (the from-scratch \
+     differential oracle).  Strategies without a solver choice ignore \
+     this."
+  in
+  Arg.(value & opt string "kernel" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let with_solver name k =
+  match Report.Registry.solver_of_name name with
+  | Error m -> `Error (false, m)
+  | Ok solver -> k solver
+
+let factory_of_name ~seed ?metrics ?solver name =
+  Report.Registry.factory_of_name ~seed ?metrics ?solver name
 
 let instance_of_workload = Report.Registry.instance_of_workload
 
@@ -151,10 +165,11 @@ let print_outcome_summary (r : Report.Harness.run) =
 (* run *)
 
 let run_cmd =
-  let action strategy workload n d rounds load seed audit csv phases mfmt mout
-      =
+  let action strategy solver workload n d rounds load seed audit csv phases
+      mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
-    match factory_of_name ~seed ?metrics strategy with
+    with_solver solver @@ fun solver ->
+    match factory_of_name ~seed ?metrics ~solver strategy with
     | Error m -> `Error (false, m)
     | Ok factory ->
       (match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
@@ -206,9 +221,9 @@ let run_cmd =
                    (rounds) and the steady state if one exists.")
   in
   let term =
-    Term.(ret (const action $ strategy_arg $ workload_arg $ n_arg $ d_arg
-               $ rounds_arg $ load_arg $ seed_arg $ audit_arg $ csv_arg
-               $ phases_arg $ metrics_fmt_arg $ metrics_out_arg))
+    Term.(ret (const action $ strategy_arg $ solver_arg $ workload_arg
+               $ n_arg $ d_arg $ rounds_arg $ load_arg $ seed_arg $ audit_arg
+               $ csv_arg $ phases_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one strategy on a workload.")
@@ -218,8 +233,9 @@ let run_cmd =
 (* compare *)
 
 let compare_cmd =
-  let action workload n d rounds load seed mfmt mout =
+  let action workload solver n d rounds load seed mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
+    with_solver solver @@ fun solver ->
     match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
     | Error m -> `Error (false, m)
     | Ok inst ->
@@ -238,7 +254,7 @@ let compare_cmd =
       in
       List.iter
         (fun name ->
-           match factory_of_name ~seed ?metrics name with
+           match factory_of_name ~seed ?metrics ~solver name with
            | Error _ -> ()
            | Ok factory ->
              let o = Sched.Engine.run ?metrics inst factory in
@@ -255,8 +271,9 @@ let compare_cmd =
       `Ok ()
   in
   let term =
-    Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
-               $ load_arg $ seed_arg $ metrics_fmt_arg $ metrics_out_arg))
+    Term.(ret (const action $ workload_arg $ solver_arg $ n_arg $ d_arg
+               $ rounds_arg $ load_arg $ seed_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every strategy on one workload.")
@@ -460,9 +477,10 @@ let sweep_cmd =
 (* trace *)
 
 let trace_cmd =
-  let action strategy workload n d rounds load seed grid mfmt mout =
+  let action strategy solver workload n d rounds load seed grid mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
-    match factory_of_name ~seed ?metrics strategy with
+    with_solver solver @@ fun solver ->
+    match factory_of_name ~seed ?metrics ~solver strategy with
     | Error m -> `Error (false, m)
     | Ok factory ->
       (match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
@@ -507,9 +525,9 @@ let trace_cmd =
              ~doc:"Also draw the schedule as an ASCII occupancy chart.")
   in
   let term =
-    Term.(ret (const action $ strategy_arg $ workload_arg $ n_arg $ d_arg
-               $ rounds_arg $ load_arg $ seed_arg $ grid_arg $ metrics_fmt_arg
-               $ metrics_out_arg))
+    Term.(ret (const action $ strategy_arg $ solver_arg $ workload_arg
+               $ n_arg $ d_arg $ rounds_arg $ load_arg $ seed_arg $ grid_arg
+               $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -546,17 +564,18 @@ let manual_arg =
   Arg.(value & flag & info [ "manual" ] ~doc)
 
 let serve_cmd =
-  let action listen shards n d strategy seed tick_ms manual queue_cap
+  let action listen shards n d strategy solver seed tick_ms manual queue_cap
       read_timeout mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
+    with_solver solver @@ fun solver ->
     (* validate the strategy name once up front; per-shard factories
        then reseed so randomised strategies don't share one coin
        stream across domains *)
-    match factory_of_name ~seed strategy with
+    match factory_of_name ~seed ~solver strategy with
     | Error m -> `Error (false, m)
     | Ok _ ->
       let per_shard ~shard =
-        match factory_of_name ~seed:(seed + shard) strategy with
+        match factory_of_name ~seed:(seed + shard) ~solver strategy with
         | Ok f -> f
         | Error m -> failwith m
       in
@@ -637,9 +656,9 @@ let serve_cmd =
   in
   let term =
     Term.(ret (const action $ listen_arg $ shards_arg $ n_arg $ d_arg
-               $ strategy_arg $ seed_arg $ tick_ms_arg $ manual_arg
-               $ queue_cap_arg $ read_timeout_arg $ metrics_fmt_arg
-               $ metrics_out_arg))
+               $ strategy_arg $ solver_arg $ seed_arg $ tick_ms_arg
+               $ manual_arg $ queue_cap_arg $ read_timeout_arg
+               $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "serve"

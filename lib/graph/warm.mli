@@ -1,0 +1,71 @@
+(** Warm-start arena for tiered maximum-weight matching.
+
+    A reusable, allocation-free replica of {!Tiered.solve}: same residual
+    SPFA from all free left vertices, same FIFO relaxation order, same
+    maximum-gain augmenting step with ties broken towards the smallest
+    right index — so on any graph it returns the {e same matching,
+    edge for edge}, as {!Tiered.solve} (the differential suite pins
+    this).  The difference is purely representational: a left-grouped CSR
+    with flat [k]-stride integer weights, stamp-guarded flat distance
+    matrices instead of [Lexvec.t option] arrays, and an int ring buffer
+    for the queue.  One value is created per strategy and re-armed every
+    round with {!begin_round}; steady-state solving performs no heap
+    allocation, which is where the online kernel's speedup over the
+    rebuild path comes from.
+
+    Build discipline: {!add_left} opens a left vertex; subsequent
+    {!add_edge} calls attach to it (CSR grouping), with per-edge weights
+    zero-initialised and filled by {!set_weight}.  Weight vectors are
+    uniform length [k] for the whole round, as {!Tiered} requires. *)
+
+type t
+
+type stats = {
+  sweeps : int;
+      (** SPFA sweeps run — each is one augmenting-path search over the
+          current residual graph (the kernel's
+          [strategy.augment_searches]) *)
+  augments : int;  (** sweeps that grew the matching *)
+  warm_hits : int;
+      (** augmentations along a single free edge — no rematching of
+          already-placed requests was needed *)
+}
+
+val create : unit -> t
+
+val begin_round : t -> n_right:int -> k:int -> unit
+(** Re-arm for a fresh subproblem: no left vertices, no edges, [n_right]
+    free right vertices, weight vectors of length [k].  Previously grown
+    capacity is retained.
+    @raise Invalid_argument on negative [n_right] or [k < 1]. *)
+
+val add_left : t -> int
+(** Open the next left vertex and return its index (consecutive from
+    0). *)
+
+val add_edge : t -> right:int -> int
+(** Add an edge from the most recently added left vertex; returns the
+    edge id (consecutive from 0).  Weights start at all-zero.
+    @raise Invalid_argument before any {!add_left} or on an
+    out-of-range right vertex. *)
+
+val set_weight : t -> int -> int -> int -> unit
+(** [set_weight t e j v] sets tier [j] of edge [e] to [v]. *)
+
+val solve : t -> unit
+(** Run the tiered max-weight matching to optimality, identical in
+    outcome to {!Tiered.solve} on the same graph and weights. *)
+
+val n_left : t -> int
+
+val left_to : t -> int -> int
+(** Matched right vertex of a left vertex, or [-1]. *)
+
+val left_edge : t -> int -> int
+(** Matched edge of a left vertex, or [-1]. *)
+
+val right_to : t -> int -> int
+(** Matched left vertex of a right vertex, or [-1]. *)
+
+val stats : t -> stats
+(** Cumulative effort counters since {!create}. *)

@@ -14,7 +14,11 @@ type t = {
 
 let close ?(tol = 0.02) a b = Float.abs (a -. b) <= tol *. Float.abs b
 
-let scenario_factory make (sc : Adversary.Scenario.t) =
+let scenario_factory
+    (make :
+       ?solver:Global.solver -> ?bias:Sched.Strategy.bias ->
+       ?metrics:Obs.Metrics.t -> unit -> Sched.Strategy.factory)
+    (sc : Adversary.Scenario.t) =
   make ?bias:(Some sc.Adversary.Scenario.bias) ()
 
 (* ------------------------------------------------------------------ *)
@@ -456,11 +460,11 @@ let battery ~quick ~d =
 
 let ub_strategies ~d =
   [
-    ("A_fix", Global.fix, Analysis.Bounds.fix_ub ~d, 1);
-    ("A_current", Global.current, Analysis.Bounds.fix_ub ~d, 1);
-    ("A_fix_balance", Global.fix_balance, Analysis.Bounds.fix_balance_ub ~d, 1);
-    ("A_eager", Global.eager, Analysis.Bounds.eager_ub ~d, 2);
-    ("A_balance", Global.balance, Analysis.Bounds.balance_ub ~d, 2);
+    ("A_fix", (fun ?bias () -> Global.fix ?bias ()), Analysis.Bounds.fix_ub ~d, 1);
+    ("A_current", (fun ?bias () -> Global.current ?bias ()), Analysis.Bounds.fix_ub ~d, 1);
+    ("A_fix_balance", (fun ?bias () -> Global.fix_balance ?bias ()), Analysis.Bounds.fix_balance_ub ~d, 1);
+    ("A_eager", (fun ?bias () -> Global.eager ?bias ()), Analysis.Bounds.eager_ub ~d, 2);
+    ("A_balance", (fun ?bias () -> Global.balance ?bias ()), Analysis.Bounds.balance_ub ~d, 2);
   ]
 
 let ub_job ~d ~name ~mk ~forbidden_order ~case (inst, bias) =

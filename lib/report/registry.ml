@@ -5,13 +5,20 @@ let strategy_names =
     "greedy_firstfit";
   ]
 
-let factory_of_name ~seed ?metrics name =
+let solver_names = [ "kernel"; "rebuild" ]
+
+let solver_of_name = function
+  | "kernel" -> Ok Strategies.Global.Kernel
+  | "rebuild" -> Ok Strategies.Global.Rebuild
+  | other -> Error (Printf.sprintf "unknown solver %S" other)
+
+let factory_of_name ~seed ?metrics ?solver name =
   match name with
-  | "fix" -> Ok (Strategies.Global.fix ())
-  | "current" -> Ok (Strategies.Global.current ())
-  | "fix_balance" -> Ok (Strategies.Global.fix_balance ())
-  | "eager" -> Ok (Strategies.Global.eager ())
-  | "balance" -> Ok (Strategies.Global.balance ())
+  | "fix" -> Ok (Strategies.Global.fix ?solver ?metrics ())
+  | "current" -> Ok (Strategies.Global.current ?solver ?metrics ())
+  | "fix_balance" -> Ok (Strategies.Global.fix_balance ?solver ?metrics ())
+  | "eager" -> Ok (Strategies.Global.eager ?solver ?metrics ())
+  | "balance" -> Ok (Strategies.Global.balance ?solver ?metrics ())
   | "edf" -> Ok (Strategies.Edf.independent ())
   | "edf_coord" -> Ok (Strategies.Edf.coordinated ())
   | "local_fix" -> Ok (Localstrat.Local.fix ?metrics ())

@@ -11,13 +11,22 @@
 val strategy_names : string list
 (** Every name {!factory_of_name} accepts, in display order. *)
 
+val solver_names : string list
+(** Solver names {!solver_of_name} accepts (["kernel"; "rebuild"]). *)
+
+val solver_of_name : string -> (Strategies.Global.solver, string) result
+(** ["kernel"] is the warm-start incremental kernel (the default
+    everywhere), ["rebuild"] the from-scratch differential oracle. *)
+
 val factory_of_name :
-  seed:int -> ?metrics:Obs.Metrics.t -> string ->
-  (Sched.Strategy.factory, string) result
+  seed:int -> ?metrics:Obs.Metrics.t -> ?solver:Strategies.Global.solver ->
+  string -> (Sched.Strategy.factory, string) result
 (** [seed] drives randomised strategies (currently [greedy_random]) —
     distinct seeds give distinct coin streams.  [metrics] is forwarded
     to factories with an instrumented substrate (the local strategies'
-    {!Distnet.Net}). *)
+    {!Distnet.Net} and the global strategies' kernel).  [solver] selects
+    the global strategies' solver; strategies without a solver choice
+    ignore it. *)
 
 val instance_of_workload :
   name:string -> n:int -> d:int -> rounds:int -> load:float -> seed:int ->

@@ -269,7 +269,7 @@ module Live = struct
       | Some ids ->
         List.filter
           (fun id -> not (Hashtbl.mem t.ledger.served_tbl id))
-          (List.sort compare !ids)
+          (List.sort Int.compare !ids)
     in
     Hashtbl.remove t.expiry round;
     t.live <- t.live - List.length served - List.length expired;

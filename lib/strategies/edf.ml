@@ -7,6 +7,12 @@ type state = {
   coordinate : bool;
   queues : (int, Request.t) Hashtbl.t array; (* per resource: id -> request *)
   served : (int, unit) Hashtbl.t;
+  (* expiry buckets: last_round -> (resource, id) queue entries, so a
+     round drops exactly the entries whose window just closed instead
+     of scanning every queue (the kernel's O(expiring) scheme).
+     Entries already removed by a serve make the removal a no-op. *)
+  expiry : (int, (int * int) list ref) Hashtbl.t;
+  mutable drained : int; (* buckets below this round are gone *)
 }
 
 (* The request resource [res] serves at [round]: live, not yet served
@@ -33,24 +39,35 @@ let pick st ~round res =
     st.queues.(res) None
 
 let step st ~round ~arrivals =
+  (* drop entries whose window closed before [round]: O(expiring) *)
+  for closed = st.drained to round - 1 do
+    match Hashtbl.find_opt st.expiry closed with
+    | None -> ()
+    | Some entries ->
+      List.iter (fun (res, id) -> Hashtbl.remove st.queues.(res) id) !entries;
+      Hashtbl.remove st.expiry closed
+  done;
+  if round > st.drained then st.drained <- round;
   (* admit arrivals into each listed resource's queue *)
   Array.iter
     (fun (r : Request.t) ->
-       Array.iter
-         (fun res -> Hashtbl.replace st.queues.(res) r.Request.id r)
-         r.Request.alternatives)
+       let last = Request.last_round r in
+       if last >= round then begin
+         let bucket =
+           match Hashtbl.find_opt st.expiry last with
+           | Some b -> b
+           | None ->
+             let b = ref [] in
+             Hashtbl.replace st.expiry last b;
+             b
+         in
+         Array.iter
+           (fun res ->
+              Hashtbl.replace st.queues.(res) r.Request.id r;
+              bucket := (res, r.Request.id) :: !bucket)
+           r.Request.alternatives
+       end)
     arrivals;
-  (* drop expired entries to keep the queues small *)
-  Array.iter
-    (fun q ->
-       let dead =
-         Hashtbl.fold
-           (fun id r acc ->
-              if Request.last_round r < round then id :: acc else acc)
-           q []
-       in
-       List.iter (Hashtbl.remove q) dead)
-    st.queues;
   let serves = ref [] in
   for res = 0 to st.n - 1 do
     match pick st ~round res with
@@ -71,6 +88,8 @@ let make ~coordinate ~name ?(bias = Strategy.no_bias) () : Strategy.factory =
       coordinate;
       queues = Array.init n (fun _ -> Hashtbl.create 16);
       served = Hashtbl.create 64;
+      expiry = Hashtbl.create 64;
+      drained = 0;
     }
   in
   { Strategy.name = name; step = (fun ~round ~arrivals -> step st ~round ~arrivals) }

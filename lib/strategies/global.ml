@@ -4,8 +4,14 @@ module Bipartite = Graph.Bipartite
 module Matching = Graph.Matching
 module Tiered = Graph.Tiered
 
-type kind = Fix | Current | Fix_balance | Eager | Balance | Remax
+type kind = Kernel.kind = Fix | Current | Fix_balance | Eager | Balance | Remax
 
+type solver = Kernel | Rebuild
+
+(* The state below belongs to the Rebuild path: the naive from-scratch
+   solver retained as the differential-testing oracle for the
+   incremental kernel (see kernel.ml, which produces identical
+   services round for round). *)
 type state = {
   kind : kind;
   n : int;
@@ -15,13 +21,15 @@ type state = {
   assigned : (int, int * int) Hashtbl.t; (* id -> (resource, abs. round) *)
 }
 
-let kind_name = function
-  | Fix -> "A_fix"
-  | Current -> "A_current"
-  | Fix_balance -> "A_fix_balance"
-  | Eager -> "A_eager"
-  | Balance -> "A_balance"
-  | Remax -> "A_remax"
+let kind_name = Kernel.kind_name
+
+(* Requests and serves are keyed by unique ids, so ordering by id alone
+   reproduces the polymorphic [compare] these sites used to rely on. *)
+let by_id (a, _) (b, _) = Int.compare a b
+
+let serve_compare (a : Strategy.serve) (b : Strategy.serve) =
+  if a.request <> b.request then Int.compare a.request b.request
+  else Int.compare a.resource b.resource
 
 (* Remove requests whose window closed before [round].  Their
    assignments, if any, are in the past and are dropped too. *)
@@ -67,7 +75,7 @@ let solve_fix_family st ~round ~tiers_of =
       (fun id r acc ->
          if Hashtbl.mem st.assigned id then acc else (id, r) :: acc)
       st.active []
-    |> List.sort compare
+    |> List.sort by_id
     |> Array.of_list
   in
   let g =
@@ -109,7 +117,7 @@ let solve_fix_family st ~round ~tiers_of =
 let solve_full st ~round ~tiers_of =
   let lefts =
     Hashtbl.fold (fun id r acc -> (id, r) :: acc) st.active []
-    |> List.sort compare
+    |> List.sort by_id
     |> Array.of_list
   in
   let g =
@@ -150,7 +158,7 @@ let solve_full st ~round ~tiers_of =
 let solve_current st ~round =
   let lefts =
     Hashtbl.fold (fun id r acc -> (id, r) :: acc) st.active []
-    |> List.sort compare
+    |> List.sort by_id
     |> Array.of_list
   in
   let g = Bipartite.create ~n_left:(Array.length lefts) ~n_right:st.n in
@@ -184,7 +192,7 @@ let collect_serves st ~round =
            { Strategy.request = id; resource } :: acc
          else acc)
       st.assigned []
-    |> List.sort compare
+    |> List.sort serve_compare
   in
   List.iter
     (fun { Strategy.request; _ } ->
@@ -249,32 +257,41 @@ let step st ~round ~arrivals =
    | Current -> solve_current st ~round);
   collect_serves st ~round
 
-let make kind ?(bias = Strategy.no_bias) () : Strategy.factory =
+let make kind ?(solver = Kernel) ?(bias = Strategy.no_bias) ?metrics () :
+  Strategy.factory =
  fun ~n ~d ->
-  let st =
-    {
-      kind;
-      n;
-      d;
-      bias;
-      active = Hashtbl.create 64;
-      assigned = Hashtbl.create 64;
-    }
-  in
-  { Strategy.name = kind_name kind; step = (fun ~round ~arrivals -> step st ~round ~arrivals) }
+  match solver with
+  | Kernel ->
+    Kernel.make ~kind ~n ~d ~bias ~metrics:(Obs.Metrics.resolve metrics)
+  | Rebuild ->
+    let st =
+      {
+        kind;
+        n;
+        d;
+        bias;
+        active = Hashtbl.create 64;
+        assigned = Hashtbl.create 64;
+      }
+    in
+    { Strategy.name = kind_name kind;
+      step = (fun ~round ~arrivals -> step st ~round ~arrivals) }
 
-let fix ?bias () = make Fix ?bias ()
-let remax ?bias () = make Remax ?bias ()
-let current ?bias () = make Current ?bias ()
-let fix_balance ?bias () = make Fix_balance ?bias ()
-let eager ?bias () = make Eager ?bias ()
-let balance ?bias () = make Balance ?bias ()
+let fix ?solver ?bias ?metrics () = make Fix ?solver ?bias ?metrics ()
+let remax ?solver ?bias ?metrics () = make Remax ?solver ?bias ?metrics ()
+let current ?solver ?bias ?metrics () = make Current ?solver ?bias ?metrics ()
+
+let fix_balance ?solver ?bias ?metrics () =
+  make Fix_balance ?solver ?bias ?metrics ()
+
+let eager ?solver ?bias ?metrics () = make Eager ?solver ?bias ?metrics ()
+let balance ?solver ?bias ?metrics () = make Balance ?solver ?bias ?metrics ()
 
 let all =
   [
-    ("A_fix", fix);
-    ("A_current", current);
-    ("A_fix_balance", fix_balance);
-    ("A_eager", eager);
-    ("A_balance", balance);
+    ("A_fix", fun ?bias () -> fix ?bias ());
+    ("A_current", fun ?bias () -> current ?bias ());
+    ("A_fix_balance", fun ?bias () -> fix_balance ?bias ());
+    ("A_eager", fun ?bias () -> eager ?bias ());
+    ("A_balance", fun ?bias () -> balance ?bias ());
   ]

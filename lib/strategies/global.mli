@@ -25,15 +25,43 @@
     - [balance]:     full re-solve; [kept; cardinality; X_t; …; X_t+d-1;
                      bias].
 
-    Every factory returned here is deterministic given the bias. *)
+    Every factory returned here is deterministic given the bias.
 
-val fix : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
-val current : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
-val fix_balance : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
-val eager : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
-val balance : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
+    Two interchangeable solvers realise each strategy.  [Kernel] (the
+    default) is the warm-start incremental round kernel ({!Kernel}):
+    fix-family matchings are carried across rounds and only arrivals
+    are solved; the full-reschedule family re-solves on the
+    allocation-free {!Graph.Warm} arena.  [Rebuild] is the original
+    from-scratch solver, kept as the differential-testing oracle.  For
+    any pure bias the two produce identical services round for round
+    (pinned by the differential suite); [Rebuild] exists to keep that
+    claim checkable forever, not for production use.
 
-val remax : ?bias:Sched.Strategy.bias -> unit -> Sched.Strategy.factory
+    When a [metrics] registry is supplied (or ambient at factory-call
+    time), the kernel records [strategy.kernel_us],
+    [strategy.augment_searches] and [strategy.warm_hits] per step. *)
+
+type solver = Kernel | Rebuild
+
+val fix :
+  ?solver:solver -> ?bias:Sched.Strategy.bias -> ?metrics:Obs.Metrics.t ->
+  unit -> Sched.Strategy.factory
+val current :
+  ?solver:solver -> ?bias:Sched.Strategy.bias -> ?metrics:Obs.Metrics.t ->
+  unit -> Sched.Strategy.factory
+val fix_balance :
+  ?solver:solver -> ?bias:Sched.Strategy.bias -> ?metrics:Obs.Metrics.t ->
+  unit -> Sched.Strategy.factory
+val eager :
+  ?solver:solver -> ?bias:Sched.Strategy.bias -> ?metrics:Obs.Metrics.t ->
+  unit -> Sched.Strategy.factory
+val balance :
+  ?solver:solver -> ?bias:Sched.Strategy.bias -> ?metrics:Obs.Metrics.t ->
+  unit -> Sched.Strategy.factory
+
+val remax :
+  ?solver:solver -> ?bias:Sched.Strategy.bias -> ?metrics:Obs.Metrics.t ->
+  unit -> Sched.Strategy.factory
 (** Ablation, not in the paper: [A_eager] {e without} rule (2) — a fresh
     maximum matching every round with the current-round count maximised,
     free to silently unschedule previously planned requests.  The

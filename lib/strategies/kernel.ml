@@ -1,0 +1,332 @@
+module Request = Sched.Request
+module Strategy = Sched.Strategy
+module Warm = Graph.Warm
+
+(* The warm-start incremental round kernel behind Global's strategies.
+
+   Outcome-identical to the from-scratch solver in global.ml (the
+   [Rebuild] oracle) but structured around what actually changes when
+   the round advances:
+
+   - Fix family (A_fix, A_fix_balance): assignments are frozen, so the
+     matching is carried across rounds in a stamped slot-occupancy ring
+     and each round solves only {e new arrivals} (plus the rare
+     longer-than-d carryovers) against the still-free slots.  This is
+     exact, not heuristic: every fix-family edge weight is
+     lexicographically positive, so after a Tiered solve no edge can
+     join an unmatched request to a free slot (it would be a one-edge
+     positive augmenting path).  Occupied slots never free up before
+     they serve, hence a request left unmatched at round [t] can only
+     regain an edge when a fresh column enters its window — i.e. while
+     [last_round >= round + d - 1].  Requests past that bound are
+     dormant forever; in the rebuild solver they are isolated left
+     vertices, which SPFA visits as no-ops, so dropping them (and
+     keeping the surviving lefts in the same ascending-id order and the
+     slots in the same [(slot_round - round) * n + resource] indexing)
+     provably preserves the solver's output.
+
+   - Full family (A_eager, A_balance, A_remax) and A_current: the
+     semantics {e are} the from-empty augmentation sequence each round,
+     so the subproblem cannot shrink; instead the Hashtbl scans, the
+     polymorphic sort and the per-edge allocations go away.  Requests
+     live in an id-ordered struct-of-arrays pool, expiry and
+     served-compaction fold into the single build pass (O(expiring)
+     amortised — each entry is appended once and dropped once), and the
+     solve runs on the allocation-free {!Graph.Warm} arena.
+
+   Engine contract assumed (all engines in this repo satisfy it):
+   rounds advance by one and request ids ascend in arrival order.
+   Request windows may exceed [d] when [step] is driven by hand; the
+   carryover pool handles that exactly (see the differential suite). *)
+
+type kind = Fix | Current | Fix_balance | Eager | Balance | Remax
+
+let kind_name = function
+  | Fix -> "A_fix"
+  | Current -> "A_current"
+  | Fix_balance -> "A_fix_balance"
+  | Eager -> "A_eager"
+  | Balance -> "A_balance"
+  | Remax -> "A_remax"
+
+type t = {
+  kind : kind;
+  n : int;
+  d : int;
+  bias : Strategy.bias;
+  metrics : Obs.Metrics.t option;
+  warm : Warm.t;
+  (* fix family: frozen assignments, cell = (slot_round mod d)*n + res;
+     a cell is live iff occ_round stamps the exact slot round and
+     occ_id >= 0 *)
+  occ_round : int array;
+  occ_id : int array;
+  (* fix family: unmatched requests that can still meet a future column
+     (window longer than d); empty under the engines' deadline <= d *)
+  mutable via : Request.t array;
+  mutable via_len : int;
+  (* full family / current: live requests in ascending id order;
+     state -1 = unassigned, -2 = dead (served), t >= 0 = slot round *)
+  mutable pool : Request.t array;
+  mutable pool_state : int array;
+  mutable pool_len : int;
+  (* scratch: the fix-family left side of the current round *)
+  mutable lefts : Request.t array;
+}
+
+let dummy_req = Request.make ~arrival:0 ~alternatives:[ 0 ] ~deadline:1
+
+let ensure_req a len =
+  if Array.length a >= len then a
+  else begin
+    let a' = Array.make (max len ((2 * Array.length a) + 8)) dummy_req in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let ensure_int a len =
+  if Array.length a >= len then a
+  else begin
+    let a' = Array.make (max len ((2 * Array.length a) + 8)) (-1) in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let serve_compare (a : Strategy.serve) (b : Strategy.serve) =
+  if a.request <> b.request then Int.compare a.request b.request
+  else Int.compare a.resource b.resource
+
+(* ---------------- fix family ---------------- *)
+
+let step_fix st ~round ~(arrivals : Request.t array) =
+  let n = st.n and d = st.d in
+  let k = match st.kind with Fix -> 3 | _ -> d + 1 in
+  (* keep only carryovers whose window still reaches the newest column *)
+  let keep = ref 0 in
+  for i = 0 to st.via_len - 1 do
+    let r = st.via.(i) in
+    if Request.last_round r >= round + d - 1 then begin
+      st.via.(!keep) <- r;
+      incr keep
+    end
+  done;
+  st.via_len <- !keep;
+  let nl = st.via_len + Array.length arrivals in
+  st.lefts <- ensure_req st.lefts nl;
+  Array.blit st.via 0 st.lefts 0 st.via_len;
+  Array.blit arrivals 0 st.lefts st.via_len (Array.length arrivals);
+  Warm.begin_round st.warm ~n_right:(n * d) ~k;
+  for li = 0 to nl - 1 do
+    let r = st.lefts.(li) in
+    ignore (Warm.add_left st.warm);
+    let lo = max round r.Request.arrival
+    and hi = min (Request.last_round r) (round + d - 1) in
+    Array.iter
+      (fun resource ->
+         for slot_round = lo to hi do
+           let cell = ((slot_round mod d) * n) + resource in
+           if not (st.occ_round.(cell) = slot_round && st.occ_id.(cell) >= 0)
+           then begin
+             let e =
+               Warm.add_edge st.warm
+                 ~right:(((slot_round - round) * n) + resource)
+             in
+             match st.kind with
+             | Fix ->
+               if r.Request.arrival = round then Warm.set_weight st.warm e 0 1;
+               Warm.set_weight st.warm e 1 1;
+               Warm.set_weight st.warm e 2
+                 (st.bias ~request:r ~resource ~round:slot_round)
+             | _ ->
+               Warm.set_weight st.warm e (slot_round - round) 1;
+               Warm.set_weight st.warm e d
+                 (st.bias ~request:r ~resource ~round:slot_round)
+           end
+         done)
+      r.Request.alternatives
+  done;
+  Warm.solve st.warm;
+  (* freeze the new matches into the ring; refill the carryover pool
+     with unmatched requests that can still meet the next column *)
+  let keep = ref 0 in
+  for li = 0 to nl - 1 do
+    let r = st.lefts.(li) in
+    let v = Warm.left_to st.warm li in
+    if v >= 0 then begin
+      let resource = v mod n and slot_round = round + (v / n) in
+      let cell = ((slot_round mod d) * n) + resource in
+      st.occ_round.(cell) <- slot_round;
+      st.occ_id.(cell) <- r.Request.id
+    end
+    else if Request.last_round r >= round + d then begin
+      st.via <- ensure_req st.via (!keep + 1);
+      st.via.(!keep) <- r;
+      incr keep
+    end
+  done;
+  st.via_len <- !keep;
+  (* serve the current column *)
+  let base = (round mod d) * n in
+  let serves = ref [] in
+  for resource = n - 1 downto 0 do
+    let cell = base + resource in
+    if st.occ_round.(cell) = round && st.occ_id.(cell) >= 0 then begin
+      serves :=
+        { Strategy.request = st.occ_id.(cell); resource } :: !serves;
+      st.occ_id.(cell) <- -1
+    end
+  done;
+  List.sort serve_compare !serves
+
+(* ---------------- pooled families ---------------- *)
+
+let pool_append st (arrivals : Request.t array) =
+  let a = Array.length arrivals in
+  st.pool <- ensure_req st.pool (st.pool_len + a);
+  st.pool_state <- ensure_int st.pool_state (st.pool_len + a);
+  Array.iter
+    (fun r ->
+       st.pool.(st.pool_len) <- r;
+       st.pool_state.(st.pool_len) <- -1;
+       st.pool_len <- st.pool_len + 1)
+    arrivals
+
+let step_current st ~round ~arrivals =
+  pool_append st arrivals;
+  Warm.begin_round st.warm ~n_right:st.n ~k:2;
+  let w = ref 0 in
+  for i = 0 to st.pool_len - 1 do
+    let r = st.pool.(i) in
+    if st.pool_state.(i) <> -2 && Request.last_round r >= round then begin
+      st.pool.(!w) <- r;
+      st.pool_state.(!w) <- -1;
+      incr w;
+      ignore (Warm.add_left st.warm);
+      Array.iter
+        (fun resource ->
+           let e = Warm.add_edge st.warm ~right:resource in
+           Warm.set_weight st.warm e 0 1;
+           Warm.set_weight st.warm e 1
+             (st.bias ~request:r ~resource ~round))
+        r.Request.alternatives
+    end
+  done;
+  st.pool_len <- !w;
+  Warm.solve st.warm;
+  let serves = ref [] in
+  for li = st.pool_len - 1 downto 0 do
+    let v = Warm.left_to st.warm li in
+    if v >= 0 then begin
+      st.pool_state.(li) <- -2;
+      serves :=
+        { Strategy.request = st.pool.(li).Request.id; resource = v }
+        :: !serves
+    end
+  done;
+  !serves
+
+let step_full st ~round ~arrivals =
+  pool_append st arrivals;
+  let n = st.n and d = st.d in
+  let k = match st.kind with Eager -> 4 | Remax -> 3 | _ -> d + 3 in
+  Warm.begin_round st.warm ~n_right:(n * d) ~k;
+  let w = ref 0 in
+  for i = 0 to st.pool_len - 1 do
+    let r = st.pool.(i) in
+    if st.pool_state.(i) <> -2 && Request.last_round r >= round then begin
+      let kept = st.pool_state.(i) >= 0 in
+      st.pool.(!w) <- r;
+      st.pool_state.(!w) <- -1;
+      incr w;
+      ignore (Warm.add_left st.warm);
+      let lo = max round r.Request.arrival
+      and hi = min (Request.last_round r) (round + d - 1) in
+      Array.iter
+        (fun resource ->
+           for slot_round = lo to hi do
+             let e =
+               Warm.add_edge st.warm
+                 ~right:(((slot_round - round) * n) + resource)
+             in
+             let b = st.bias ~request:r ~resource ~round:slot_round in
+             match st.kind with
+             | Eager ->
+               if kept then Warm.set_weight st.warm e 0 1;
+               Warm.set_weight st.warm e 1 1;
+               if slot_round = round then Warm.set_weight st.warm e 2 1;
+               Warm.set_weight st.warm e 3 b
+             | Remax ->
+               Warm.set_weight st.warm e 0 1;
+               if slot_round = round then Warm.set_weight st.warm e 1 1;
+               Warm.set_weight st.warm e 2 b
+             | _ ->
+               if kept then Warm.set_weight st.warm e 0 1;
+               Warm.set_weight st.warm e 1 1;
+               Warm.set_weight st.warm e (2 + (slot_round - round)) 1;
+               Warm.set_weight st.warm e (d + 2) b
+           done)
+        r.Request.alternatives
+    end
+  done;
+  st.pool_len <- !w;
+  Warm.solve st.warm;
+  let serves = ref [] in
+  for li = st.pool_len - 1 downto 0 do
+    let v = Warm.left_to st.warm li in
+    if v >= 0 then begin
+      let resource = v mod n and slot_round = round + (v / n) in
+      if slot_round = round then begin
+        st.pool_state.(li) <- -2;
+        serves :=
+          { Strategy.request = st.pool.(li).Request.id; resource }
+          :: !serves
+      end
+      else st.pool_state.(li) <- slot_round
+    end
+    else st.pool_state.(li) <- -1
+  done;
+  !serves
+
+let step_core st ~round ~arrivals =
+  match st.kind with
+  | Fix | Fix_balance -> step_fix st ~round ~arrivals
+  | Current -> step_current st ~round ~arrivals
+  | Eager | Balance | Remax -> step_full st ~round ~arrivals
+
+let make ~kind ~n ~d ~bias ~metrics : Strategy.t =
+  let st =
+    {
+      kind;
+      n;
+      d;
+      bias;
+      metrics;
+      warm = Warm.create ();
+      occ_round = Array.make (n * d) min_int;
+      occ_id = Array.make (n * d) (-1);
+      via = [||];
+      via_len = 0;
+      pool = [||];
+      pool_state = [||];
+      pool_len = 0;
+      lefts = [||];
+    }
+  in
+  let step =
+    match st.metrics with
+    | None -> fun ~round ~arrivals -> step_core st ~round ~arrivals
+    | Some m ->
+      fun ~round ~arrivals ->
+        let s0 = Warm.stats st.warm in
+        let t0 = Obs.Span.start () in
+        let serves = step_core st ~round ~arrivals in
+        Obs.Metrics.observe m "strategy.kernel_us"
+          (Obs.Span.elapsed t0 *. 1e6);
+        let s1 = Warm.stats st.warm in
+        Obs.Metrics.incr ~by:(s1.Warm.sweeps - s0.Warm.sweeps) m
+          "strategy.augment_searches";
+        Obs.Metrics.incr ~by:(s1.Warm.warm_hits - s0.Warm.warm_hits) m
+          "strategy.warm_hits";
+        serves
+  in
+  { Strategy.name = kind_name kind; step }

@@ -1,0 +1,47 @@
+(** Warm-start incremental round kernel for {!Global}'s strategies.
+
+    Produces the same services, round for round, as the from-scratch
+    solver kept in [global.ml] behind [~solver:Rebuild] (the
+    differential suite pins the equality on random instances, the
+    theorem adversaries, adaptive runs and the live engine), while
+    doing per-round work proportional to what changed:
+
+    - fix family — the carried matching lives in a stamped slot ring;
+      each round solves only the new arrivals (plus longer-than-[d]
+      carryovers) against the still-free slots.  Dropping dormant
+      requests is exact because every fix-family weight vector is
+      lexicographically positive: an unmatched request adjacent to a
+      free slot would be a one-edge positive augmenting path, so after
+      a solve none exists, and frozen slots never free up early.
+    - full family / current — same subproblem as the rebuild (the
+      from-empty re-solve {e is} the strategy), but over an id-ordered
+      struct-of-arrays pool with expiry folded into the build pass and
+      the allocation-free {!Graph.Warm} arena instead of
+      Bipartite + Lexvec.
+
+    Equality with the rebuild solver assumes a pure [bias] (both paths
+    call it once per edge, in different orders).
+
+    The kernel assumes the engine contract (rounds advance by one,
+    request ids ascend in arrival order), which every engine in this
+    repo satisfies; windows longer than [d] from hand-driven [step]
+    calls are handled exactly via the carryover pool. *)
+
+type kind = Fix | Current | Fix_balance | Eager | Balance | Remax
+
+val kind_name : kind -> string
+(** Paper names: ["A_fix"], ["A_current"], ["A_fix_balance"],
+    ["A_eager"], ["A_balance"]; the ablation is ["A_remax"]. *)
+
+val make :
+  kind:kind ->
+  n:int ->
+  d:int ->
+  bias:Sched.Strategy.bias ->
+  metrics:Obs.Metrics.t option ->
+  Sched.Strategy.t
+(** One kernel instance (strategy state is per-instance).  When
+    [metrics] is present, each step records [strategy.kernel_us]
+    (histogram, µs per round) and counts [strategy.augment_searches]
+    (SPFA sweeps) and [strategy.warm_hits] (single-edge
+    augmentations). *)

@@ -1,45 +1,95 @@
 module Request = Sched.Request
 module Strategy = Sched.Strategy
 
+(* Slot plan as a stamped ring over the next [cap] rounds: the cell for
+   (res, t) is ((t mod cap) * n) + res, live iff occ_round stamps
+   exactly [t] with a request id present.  Serving a column frees its
+   cells for the column [cap] rounds later, so nothing is ever scanned
+   or rehashed — the greedy family's bookkeeping is O(window) per
+   request and O(n) per round, with no per-slot allocation.  The ring
+   deepens (rare: only for hand-driven windows longer than [d]) by
+   restamping the live cells into a wider ring. *)
 type state = {
   n : int;
-  slots : (int * int, int) Hashtbl.t; (* (resource, round) -> request id *)
+  mutable cap : int;
+  mutable occ_round : int array;
+  mutable occ_id : int array;
 }
+
+let ensure_depth st ~round ~hi =
+  let needed = hi - round + 1 in
+  if needed > st.cap then begin
+    let cap' = max needed (2 * st.cap) in
+    let occ_round' = Array.make (cap' * st.n) min_int in
+    let occ_id' = Array.make (cap' * st.n) (-1) in
+    Array.iteri
+      (fun cell t ->
+         if t >= round && st.occ_id.(cell) >= 0 then begin
+           let res = cell mod st.n in
+           let cell' = ((t mod cap') * st.n) + res in
+           occ_round'.(cell') <- t;
+           occ_id'.(cell') <- st.occ_id.(cell)
+         end)
+      st.occ_round;
+    st.cap <- cap';
+    st.occ_round <- occ_round';
+    st.occ_id <- occ_id'
+  end
+
+let occupied st res t =
+  let cell = ((t mod st.cap) * st.n) + res in
+  st.occ_round.(cell) = t && st.occ_id.(cell) >= 0
 
 (* free slots of [res] within [r]'s window at [round] *)
 let free_slots st ~round res (r : Request.t) =
   let lo = max round r.Request.arrival and hi = Request.last_round r in
+  ensure_depth st ~round ~hi;
   let count = ref 0 in
   for t = lo to hi do
-    if not (Hashtbl.mem st.slots (res, t)) then incr count
+    if not (occupied st res t) then incr count
   done;
   !count
 
 let earliest_free st ~round res (r : Request.t) =
   let lo = max round r.Request.arrival and hi = Request.last_round r in
+  ensure_depth st ~round ~hi;
   let rec find t =
     if t > hi then None
-    else if Hashtbl.mem st.slots (res, t) then find (t + 1)
+    else if occupied st res t then find (t + 1)
     else Some t
   in
   find lo
 
-let assign st (r : Request.t) res t = Hashtbl.replace st.slots (res, t) r.Request.id
+let assign st ~round (r : Request.t) res t =
+  ensure_depth st ~round ~hi:t;
+  let cell = ((t mod st.cap) * st.n) + res in
+  st.occ_round.(cell) <- t;
+  st.occ_id.(cell) <- r.Request.id
 
 let collect_serves st ~round =
+  let base = (round mod st.cap) * st.n in
   let serves = ref [] in
-  for res = 0 to st.n - 1 do
-    match Hashtbl.find_opt st.slots (res, round) with
-    | None -> ()
-    | Some id ->
-      Hashtbl.remove st.slots (res, round);
-      serves := { Strategy.request = id; resource = res } :: !serves
+  for res = st.n - 1 downto 0 do
+    let cell = base + res in
+    if st.occ_round.(cell) = round && st.occ_id.(cell) >= 0 then begin
+      serves := { Strategy.request = st.occ_id.(cell); resource = res }
+                :: !serves;
+      st.occ_id.(cell) <- -1
+    end
   done;
-  List.rev !serves
+  !serves
 
 let make ~name ~choose : Strategy.factory =
- fun ~n ~d:_ ->
-  let st = { n; slots = Hashtbl.create 128 } in
+ fun ~n ~d ->
+  let cap = max d 1 in
+  let st =
+    {
+      n;
+      cap;
+      occ_round = Array.make (cap * n) min_int;
+      occ_id = Array.make (cap * n) (-1);
+    }
+  in
   {
     Strategy.name;
     step =
@@ -47,7 +97,7 @@ let make ~name ~choose : Strategy.factory =
          Array.iter
            (fun (r : Request.t) ->
               match choose st ~round r with
-              | Some (res, t) -> assign st r res t
+              | Some (res, t) -> assign st ~round r res t
               | None -> ())
            arrivals;
          collect_serves st ~round);
@@ -55,21 +105,31 @@ let make ~name ~choose : Strategy.factory =
 
 let least_loaded ?(bias = Strategy.no_bias) () =
   let choose st ~round (r : Request.t) =
-    let best = ref None in
+    (* best (free_slots, bias, lower res), compared field by field *)
+    let best_free = ref (-1)
+    and best_bias = ref 0
+    and best_res = ref (-1)
+    and best_t = ref (-1) in
     Array.iter
       (fun res ->
          match earliest_free st ~round res r with
          | None -> ()
          | Some t ->
-           let key =
-             (free_slots st ~round res r, bias ~request:r ~resource:res ~round,
-              -res)
+           let free = free_slots st ~round res r
+           and b = bias ~request:r ~resource:res ~round in
+           let better =
+             !best_res < 0 || free > !best_free
+             || (free = !best_free
+                 && (b > !best_bias || (b = !best_bias && res < !best_res)))
            in
-           (match !best with
-            | Some (key', _, _) when key' >= key -> ()
-            | Some _ | None -> best := Some (key, res, t)))
+           if better then begin
+             best_free := free;
+             best_bias := b;
+             best_res := res;
+             best_t := t
+           end)
       r.Request.alternatives;
-    Option.map (fun (_, res, t) -> (res, t)) !best
+    if !best_res < 0 then None else Some (!best_res, !best_t)
   in
   make ~name:"greedy_2choice" ~choose
 

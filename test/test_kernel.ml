@@ -1,0 +1,351 @@
+(* Differential suite for the warm-start incremental kernel.
+
+   The kernel (Strategies.Kernel, behind Global's default
+   [~solver:Kernel]) claims to be outcome-identical to the from-scratch
+   rebuild path for every global strategy — same served set, same serve
+   rounds and resources, same waste, for any engine and any (pure)
+   bias.  These tests pin that claim against the rebuild oracle:
+
+   - randomised instances with varied deadlines and alternative counts,
+     with and without an adversarial pure tie-breaking bias;
+   - every fixed theorem adversary of the paper;
+   - the adaptive Thm 2.6 adversary through Engine.run_adaptive (the
+     adversary observes the algorithm, so equality of the emitted
+     instances is itself part of the claim);
+   - hand-driven Strategy.step with deadlines exceeding the nominal d
+     (reachable only outside Instance.build — exercises the via-pool);
+   - the Engine.Live incremental path used by the server;
+   - Graph.Warm against Graph.Tiered on raw random weighted graphs,
+     edge-for-edge;
+   - the kernel's Obs counters (augment searches, warm hits, step
+     timing) actually accumulate. *)
+
+module Request = Sched.Request
+module Instance = Sched.Instance
+module Engine = Sched.Engine
+module Outcome = Sched.Outcome
+module Strategy = Sched.Strategy
+module Global = Strategies.Global
+module Rng = Prelude.Rng
+
+let check = Alcotest.check
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* every global strategy, as (name, solver-and-bias-polymorphic maker) *)
+type maker =
+  ?solver:Global.solver -> ?bias:Strategy.bias -> unit -> Strategy.factory
+
+let makers : (string * maker) list =
+  [
+    ("A_fix", fun ?solver ?bias () -> Global.fix ?solver ?bias ());
+    ("A_current", fun ?solver ?bias () -> Global.current ?solver ?bias ());
+    ( "A_fix_balance",
+      fun ?solver ?bias () -> Global.fix_balance ?solver ?bias () );
+    ("A_eager", fun ?solver ?bias () -> Global.eager ?solver ?bias ());
+    ("A_balance", fun ?solver ?bias () -> Global.balance ?solver ?bias ());
+    ("A_remax", fun ?solver ?bias () -> Global.remax ?solver ?bias ());
+  ]
+
+(* everything an outcome determines, as one comparable value *)
+let outcome_sig (o : Outcome.t) =
+  ( Array.to_list o.Outcome.served_at,
+    o.Outcome.served,
+    o.Outcome.wasted,
+    Array.to_list o.Outcome.per_round_served )
+
+let instance_sig (inst : Instance.t) =
+  Array.to_list
+    (Array.map
+       (fun (r : Request.t) ->
+          ( r.Request.arrival,
+            Array.to_list r.Request.alternatives,
+            r.Request.deadline ))
+       inst.Instance.requests)
+
+(* a pure, adversarial tie-break: spreads over ids, resources and
+   rounds, takes negative values, depends on nothing mutable *)
+let adv_bias : Strategy.bias =
+ fun ~request ~resource ~round ->
+  (((request.Request.id * 31) + (resource * 7) + (round * 13)) mod 7) - 3
+
+let run_both ?bias inst ((_, maker) : string * maker) =
+  let k = Engine.run inst (maker ~solver:Global.Kernel ?bias ()) in
+  let r = Engine.run inst (maker ~solver:Global.Rebuild ?bias ()) in
+  outcome_sig k = outcome_sig r
+
+(* ------------------------------------------------------------------ *)
+(* random instances *)
+
+let instance_gen =
+  QCheck.Gen.(
+    int_range 2 6 >>= fun n ->
+    int_range 1 5 >>= fun d ->
+    int_range 0 40 >>= fun n_req ->
+    int_range 0 100_000 >>= fun seed -> return (n, d, n_req, seed))
+
+let instance_arb =
+  QCheck.make instance_gen ~print:(fun (n, d, n_req, seed) ->
+      Printf.sprintf "n=%d d=%d req=%d seed=%d" n d n_req seed)
+
+(* deadlines vary in [1, d] and each request lists 1-3 distinct
+   alternatives, so the kernel's window logic and the dormant/viable
+   distinction are both exercised *)
+let build_random (n, d, n_req, seed) =
+  let rng = Rng.create ~seed in
+  let protos = ref [] in
+  let arrival = ref 0 in
+  for _ = 1 to n_req do
+    arrival := !arrival + Rng.int rng 2;
+    let n_alts = 1 + Rng.int rng (min 3 n) in
+    let start = Rng.int rng n in
+    let alts = List.init n_alts (fun i -> (start + i) mod n) in
+    let deadline = 1 + Rng.int rng d in
+    protos :=
+      Request.make ~arrival:!arrival ~alternatives:alts ~deadline :: !protos
+  done;
+  Instance.build ~n_resources:n ~d (List.rev !protos)
+
+let prop_kernel_matches_rebuild =
+  qtest ~count:250 "kernel == rebuild on random instances (all strategies)"
+    instance_arb (fun spec ->
+      let inst = build_random spec in
+      List.for_all (run_both inst) makers)
+
+let prop_kernel_matches_rebuild_biased =
+  qtest ~count:250
+    "kernel == rebuild under an adversarial pure bias (all strategies)"
+    instance_arb (fun spec ->
+      let inst = build_random spec in
+      List.for_all (run_both ~bias:adv_bias inst) makers)
+
+(* ------------------------------------------------------------------ *)
+(* theorem adversaries *)
+
+let theorem_instances () =
+  [
+    ("thm21", (Adversary.Thm21.make ~d:4 ~phases:3).Adversary.Scenario.instance);
+    ( "thm22",
+      (Adversary.Thm22.make ~ell:4 ~d:6 ~phases:2).Adversary.Scenario.instance
+    );
+    ("thm23", (Adversary.Thm23.make ~d:4 ~phases:3).Adversary.Scenario.instance);
+    ("thm24", (Adversary.Thm24.make ~d:4 ~phases:3).Adversary.Scenario.instance);
+    ( "thm25",
+      (Adversary.Thm25.make ~d:5 ~groups:3 ~intervals:3)
+        .Adversary.Scenario.instance );
+    ( "thm37",
+      (fst (Adversary.Thm37.make ~d:4 ~intervals:3)).Adversary.Scenario.instance
+    );
+  ]
+
+let test_theorem_adversaries () =
+  List.iter
+    (fun (wname, inst) ->
+       List.iter
+         (fun ((sname, _) as m) ->
+            check Alcotest.bool
+              (Printf.sprintf "%s/%s kernel == rebuild" wname sname)
+              true
+              (run_both inst m);
+            check Alcotest.bool
+              (Printf.sprintf "%s/%s kernel == rebuild (biased)" wname sname)
+              true
+              (run_both ~bias:adv_bias inst m))
+         makers)
+    (theorem_instances ())
+
+(* the adaptive adversary observes the algorithm's serves, so if the two
+   solvers diverged anywhere the emitted instances would diverge too --
+   both the outcome and the workload must match *)
+let test_adaptive_thm26 () =
+  let d = 3 and phases = 2 in
+  let run (maker : maker) solver =
+    let adv = Adversary.Thm26.create ~d ~phases in
+    Engine.run_adaptive ~n:Adversary.Thm26.n_resources ~d
+      ~last_arrival_round:(Adversary.Thm26.last_arrival_round ~d ~phases)
+      ~adversary:(Adversary.Thm26.adversary adv)
+      (maker ~solver ?bias:(Some adv_bias) ())
+  in
+  List.iter
+    (fun (sname, maker) ->
+       let k = run maker Global.Kernel and r = run maker Global.Rebuild in
+       check Alcotest.bool
+         (Printf.sprintf "thm26/%s same emitted instance" sname)
+         true
+         (instance_sig k.Outcome.instance = instance_sig r.Outcome.instance);
+       check Alcotest.bool
+         (Printf.sprintf "thm26/%s same outcome" sname)
+         true
+         (outcome_sig k = outcome_sig r))
+    makers
+
+(* ------------------------------------------------------------------ *)
+(* deadlines beyond the nominal d (hand-driven steps only) *)
+
+(* Instance.build and the live engine cap deadlines at d, but the raw
+   Strategy.step contract doesn't; the kernel parks requests whose
+   window extends past the current planning horizon in a via-pool.
+   Drive both solvers by hand with deadline up to d+2 and compare the
+   serve lists of every round. *)
+let test_deadline_beyond_d () =
+  let n = 3 and d = 2 in
+  let mk_req id ~arrival ~alts ~deadline =
+    Request.with_id (Request.make ~arrival ~alternatives:alts ~deadline) id
+  in
+  let schedule =
+    [|
+      [| mk_req 0 ~arrival:0 ~alts:[ 0; 1 ] ~deadline:4;
+         mk_req 1 ~arrival:0 ~alts:[ 0 ] ~deadline:4;
+         mk_req 2 ~arrival:0 ~alts:[ 2 ] ~deadline:1 |];
+      [| mk_req 3 ~arrival:1 ~alts:[ 1; 2 ] ~deadline:3 |];
+      [||];
+      [| mk_req 4 ~arrival:3 ~alts:[ 0; 1; 2 ] ~deadline:4;
+         mk_req 5 ~arrival:3 ~alts:[ 1 ] ~deadline:2 |];
+      [||];
+      [||];
+      [||];
+    |]
+  in
+  List.iter
+    (fun ((sname, maker) : string * maker) ->
+       let step solver =
+         let strat = (maker ~solver ()) ~n ~d in
+         Array.to_list
+           (Array.mapi
+              (fun round arrivals ->
+                 List.map
+                   (fun { Strategy.request; resource } -> (request, resource))
+                   (strat.Strategy.step ~round ~arrivals))
+              schedule)
+       in
+       check
+         Alcotest.(list (list (pair int int)))
+         (Printf.sprintf "%s serves per round, deadline > d" sname)
+         (step Global.Rebuild) (step Global.Kernel))
+    makers
+
+(* ------------------------------------------------------------------ *)
+(* the live engine path *)
+
+let prop_live_path =
+  qtest ~count:80 "kernel == rebuild through Engine.Live" instance_arb
+    (fun spec ->
+      let inst = build_random spec in
+      let run solver =
+        let live =
+          Engine.Live.create ~n:inst.Instance.n_resources ~d:inst.Instance.d
+            (Global.balance ~solver ())
+        in
+        let log = ref [] in
+        for round = 0 to inst.Instance.horizon - 1 do
+          Array.iter
+            (fun (r : Request.t) ->
+               match
+                 Engine.Live.submit live
+                   ~alternatives:(Array.to_list r.Request.alternatives)
+                   ~deadline:r.Request.deadline
+               with
+               | Ok _ -> ()
+               | Error m -> failwith m)
+            (Instance.arrivals_at inst round);
+          let o = Engine.Live.step live in
+          log :=
+            (o.Engine.Live.round, o.Engine.Live.served, o.Engine.Live.expired)
+            :: !log
+        done;
+        !log
+      in
+      run Global.Kernel = run Global.Rebuild)
+
+(* ------------------------------------------------------------------ *)
+(* Graph.Warm against Graph.Tiered, edge for edge *)
+
+let graph_gen =
+  QCheck.Gen.(
+    int_range 0 6 >>= fun nl ->
+    int_range 0 6 >>= fun nr ->
+    int_range 1 3 >>= fun k ->
+    int_range 0 100_000 >>= fun seed -> return (nl, nr, k, seed))
+
+let graph_arb =
+  QCheck.make graph_gen ~print:(fun (nl, nr, k, seed) ->
+      Printf.sprintf "nl=%d nr=%d k=%d seed=%d" nl nr k seed)
+
+let prop_warm_equals_tiered =
+  qtest ~count:300 "Warm.solve == Tiered.solve on random weighted graphs"
+    graph_arb (fun (nl, nr, k, seed) ->
+      let rng = Rng.create ~seed in
+      let g = Graph.Bipartite.create ~n_left:nl ~n_right:nr in
+      let warm = Graph.Warm.create () in
+      Graph.Warm.begin_round warm ~n_right:nr ~k;
+      let weights = ref [] in
+      (* identical insertion order on both sides: per-left groups of
+         edges to random rights, random weights in [-3, 3] per tier *)
+      for _ = 0 to nl - 1 do
+        let l = Graph.Warm.add_left warm in
+        let degree = if nr = 0 then 0 else Rng.int rng (nr + 1) in
+        for _ = 1 to degree do
+          let right = Rng.int rng nr in
+          ignore (Graph.Bipartite.add_edge g ~left:l ~right : int);
+          let e = Graph.Warm.add_edge warm ~right in
+          let w = Array.init k (fun _ -> Rng.int rng 7 - 3) in
+          Array.iteri (fun j v -> Graph.Warm.set_weight warm e j v) w;
+          weights := w :: !weights
+        done
+      done;
+      let weights = Array.of_list (List.rev !weights) in
+      let m =
+        Graph.Tiered.solve g ~weight:(fun e -> Graph.Lexvec.of_array weights.(e))
+      in
+      Graph.Warm.solve warm;
+      let lefts_equal =
+        List.for_all
+          (fun l ->
+             Graph.Warm.left_to warm l = m.Graph.Matching.left_to.(l)
+             && Graph.Warm.left_edge warm l = m.Graph.Matching.left_edge.(l))
+          (List.init nl Fun.id)
+      and rights_equal =
+        List.for_all
+          (fun r -> Graph.Warm.right_to warm r = m.Graph.Matching.right_to.(r))
+          (List.init nr Fun.id)
+      in
+      lefts_equal && rights_equal)
+
+(* ------------------------------------------------------------------ *)
+(* kernel metrics *)
+
+let test_kernel_metrics () =
+  let m = Obs.Metrics.create () in
+  let inst = build_random (4, 3, 30, 7) in
+  let o = Engine.run inst (Global.balance ~metrics:m ()) in
+  check Alcotest.bool "some requests served" true (o.Outcome.served > 0);
+  check Alcotest.bool "augment searches counted" true
+    (Obs.Metrics.counter m "strategy.augment_searches" > 0);
+  check Alcotest.bool "warm hits counted" true
+    (Obs.Metrics.counter m "strategy.warm_hits" >= 0);
+  (match Obs.Metrics.histogram m "strategy.kernel_us" with
+   | Some stats ->
+     check Alcotest.bool "kernel_us observed every round" true
+       (Prelude.Stats.count stats = inst.Instance.horizon)
+   | None -> Alcotest.fail "strategy.kernel_us histogram missing")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "differential",
+        [
+          prop_kernel_matches_rebuild;
+          prop_kernel_matches_rebuild_biased;
+          Alcotest.test_case "theorem adversaries" `Quick
+            test_theorem_adversaries;
+          Alcotest.test_case "adaptive thm26" `Quick test_adaptive_thm26;
+          Alcotest.test_case "deadline beyond d" `Quick
+            test_deadline_beyond_d;
+          prop_live_path;
+        ] );
+      ("warm-arena", [ prop_warm_equals_tiered ]);
+      ("metrics", [ Alcotest.test_case "counters" `Quick test_kernel_metrics ]);
+    ]

@@ -792,6 +792,286 @@ let load_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* search *)
+
+let search_cmd =
+  let module Sx = Search.Exhaustive in
+  let module Cert = Search.Certificate in
+  let action strategy budget n d per_round seed evals restarts phases emit
+      golden jobs cache_dir resume retries mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
+    let strategies =
+      if strategy = "all" then Ok Search.Game.strategies
+      else
+        match Search.Game.strategy_of_name strategy with
+        | Ok s -> Ok [ s ]
+        | Error e -> Error e
+    in
+    let tier =
+      match budget with
+      | "exhaustive" -> Ok None
+      | "guided" -> Ok (Some `Guided)
+      | s ->
+        (match int_of_string_opt s with
+         | Some b when b >= 1 -> Ok (Some (`Budget b))
+         | _ ->
+           Error
+             (Printf.sprintf
+                "bad --budget %S (expected exhaustive, guided, or a request \
+                 count)" s))
+    in
+    match strategies, tier with
+    | Error m, _ | _, Error m -> `Error (false, m)
+    | Ok strategies, Ok tier ->
+      let problems = ref 0 in
+      let emit_cert slug cert =
+        match emit with
+        | None -> ()
+        | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path =
+            Filename.concat dir (Printf.sprintf "search-%s.cert" slug)
+          in
+          Cert.save ~path cert;
+          Printf.printf "emit     : %s\n" path
+      in
+      (* parse + replay a certificate rendered inside a job; the claims
+         printed above it are only trusted because this passes *)
+      let recheck = function
+        | "" -> "none"
+        | s ->
+          (match Cert.parse s with
+           | Error e ->
+             incr problems;
+             "PARSE FAILED: " ^ e
+           | Ok c ->
+             (match Cert.check ?metrics c with
+              | Ok () -> "ok"
+              | Error e ->
+                incr problems;
+                "FAILED: " ^ e))
+      in
+      (match tier with
+       | Some `Guided ->
+         let d = Option.value d ~default:3 in
+         let ctx = runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () in
+         Printf.printf
+           "search   : tier=guided n=%d d=%d seed=%d restarts=%d evals=%d \
+            phases=%d\n"
+           n d seed restarts evals phases;
+         List.iter
+           (fun (strat : Search.Game.strategy) ->
+              let cfg =
+                Search.Attacker.config ~seed ~restarts ~evals ~phases ~n ~d ()
+              in
+              let r = Search.Attacker.run ?metrics ~ctx ~strategy:strat cfg in
+              let cert = r.Search.Attacker.certificate in
+              let rendered = Cert.render cert in
+              Printf.printf
+                "%s d=%d: guided best per-phase rate %s; certified instance \
+                 opt %d / alg %d (ratio %s) instances=%d evals=%d \
+                 disagreements=%d cert=%s\n"
+                strat.Search.Game.name d
+                (Prelude.Rat.to_string r.Search.Attacker.best_rate)
+                cert.Cert.opt cert.Cert.alg
+                (Prelude.Rat.to_string (Cert.ratio cert))
+                r.Search.Attacker.instances r.Search.Attacker.evals
+                (List.length r.Search.Attacker.disagreements)
+                (recheck rendered);
+              if r.Search.Attacker.disagreements <> [] then begin
+                problems := !problems + List.length r.Search.Attacker.disagreements;
+                List.iteri
+                  (fun i c ->
+                     emit_cert
+                       (Printf.sprintf "%s-n%d-d%d-disagreement-%d"
+                          strat.Search.Game.key n d i)
+                       c)
+                  r.Search.Attacker.disagreements
+              end;
+              emit_cert
+                (Printf.sprintf "%s-n%d-d%d-guided" strat.Search.Game.key n d)
+                cert)
+           strategies;
+         finish_runner ctx
+       | None | Some (`Budget _) ->
+         let budget = match tier with Some (`Budget b) -> Some b | _ -> None in
+         let ds = match d with Some d -> [ d ] | None -> [ 1; 2 ] in
+         if golden then print_string (Sx.golden_table ?budget ~n ~ds ())
+         else begin
+           let ctx =
+             runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries ()
+           in
+           Printf.printf
+             "search   : tier=exhaustive n=%d ds=%s budget=%d per-round=%d \
+              strategies=%s\n"
+             n
+             (String.concat "," (List.map string_of_int ds))
+             (Option.value budget ~default:4)
+             per_round
+             (String.concat ","
+                (List.map (fun (s : Search.Game.strategy) -> s.Search.Game.name)
+                   strategies));
+           let cases =
+             List.concat_map
+               (fun d ->
+                  List.map (fun (s : Search.Game.strategy) -> (d, s))
+                    strategies)
+               ds
+           in
+           let job_of (d, (strat : Search.Game.strategy)) =
+             Report.Jobs.job
+               ~name:(Printf.sprintf "%s-d%d" strat.Search.Game.key d)
+               ~params:
+                 [ ("strategy", strat.Search.Game.name);
+                   ("n", string_of_int n); ("d", string_of_int d);
+                   ("budget", string_of_int (Option.value budget ~default:4));
+                   ("per_round", string_of_int per_round) ]
+               (fun ~attempt:_ ->
+                  let cfg = Sx.config ?budget ~per_round ~n ~d () in
+                  let r = Sx.run ~strategy:strat cfg in
+                  let best =
+                    match r.Sx.best with
+                    | Some f ->
+                      Report.Jobs.List
+                        [ Report.Jobs.Rat f.Sx.ratio;
+                          Report.Jobs.Int f.Sx.opt;
+                          Report.Jobs.Int f.Sx.alg ]
+                    | None -> Report.Jobs.List []
+                  in
+                  Report.Jobs.List
+                    [ best;
+                      Report.Jobs.Str
+                        (match Sx.certificate r with
+                         | Some c -> Cert.render c
+                         | None -> "");
+                      Report.Jobs.Int r.Sx.nodes;
+                      Report.Jobs.Int r.Sx.transpositions;
+                      Report.Jobs.Int (List.length r.Sx.disagreements) ])
+           in
+           let outcomes =
+             Report.Jobs.map ctx ~family:"search.exhaustive"
+               (List.map job_of cases)
+           in
+           List.iter2
+             (fun (d, (strat : Search.Game.strategy)) outcome ->
+                let name = strat.Search.Game.name in
+                match outcome with
+                | Report.Jobs.Done
+                    (Report.Jobs.List
+                       [ Report.Jobs.List
+                           [ Report.Jobs.Rat ratio; Report.Jobs.Int opt;
+                             Report.Jobs.Int alg ];
+                         Report.Jobs.Str cert; Report.Jobs.Int nodes;
+                         Report.Jobs.Int transpositions;
+                         Report.Jobs.Int disagreements ]) ->
+                  if disagreements > 0 then
+                    problems := !problems + disagreements;
+                  Printf.printf
+                    "%s d=%d: found ratio %s (opt %d / alg %d) nodes=%d \
+                     transpositions=%d disagreements=%d cert=%s\n"
+                    name d
+                    (Prelude.Rat.to_string ratio)
+                    opt alg nodes transpositions disagreements
+                    (recheck cert);
+                  let verdict = Sx.verdict ~d ~strategy_name:name ratio in
+                  Printf.printf "%s d=%d: %s\n" name d verdict;
+                  if String.length verdict >= 7
+                  && String.sub verdict 0 7 = "EXCEEDS"
+                  then incr problems;
+                  (match Cert.parse cert with
+                   | Ok c ->
+                     emit_cert
+                       (Printf.sprintf "%s-n%d-d%d" strat.Search.Game.key n d)
+                       c
+                   | Error _ -> ())
+                | Report.Jobs.Done _ ->
+                  incr problems;
+                  Printf.printf "%s d=%d: malformed job result\n" name d
+                | Report.Jobs.Failed f ->
+                  incr problems;
+                  Printf.printf "%s d=%d: FAILED: %s\n" name d
+                    f.Report.Jobs.message)
+             cases outcomes;
+           finish_runner ctx
+         end);
+      if !problems = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "%d search problem(s)" !problems)
+  in
+  let strategy_arg =
+    let doc =
+      "Strategy under attack: fix, current, fix_balance, eager, balance, \
+       or all."
+    in
+    Arg.(value & opt string "fix" & info [ "s"; "strategy" ] ~docv:"S" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Search tier: $(b,exhaustive) (complete game tree, default request \
+       budget 4), an integer request budget for the same tier, or \
+       $(b,guided) (hill-climbing attacker for larger configurations)."
+    in
+    Arg.(value & opt string "exhaustive"
+         & info [ "budget" ] ~docv:"TIER" ~doc)
+  in
+  let n_arg =
+    let doc = "Number of resources (exhaustive tier supports 1..4)." in
+    Arg.(value & opt int 2 & info [ "n"; "resources" ] ~docv:"N" ~doc)
+  in
+  let d_arg =
+    let doc =
+      "Deadline d.  Default: sweep d = 1 and 2 in the exhaustive tier \
+       (the Table-1 rediscovery range), d = 3 in the guided tier."
+    in
+    Arg.(value & opt (some int) None & info [ "d"; "deadline" ] ~docv:"D" ~doc)
+  in
+  let per_round_arg =
+    let doc = "Max requests the adversary may inject per round." in
+    Arg.(value & opt int 4 & info [ "per-round" ] ~docv:"K" ~doc)
+  in
+  let evals_arg =
+    let doc = "Guided tier: genome evaluations per restart." in
+    Arg.(value & opt int 60 & info [ "evals" ] ~docv:"E" ~doc)
+  in
+  let restarts_arg =
+    let doc = "Guided tier: independent hill-climb restarts (one job each)." in
+    Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"R" ~doc)
+  in
+  let phases_arg =
+    let doc =
+      "Guided tier: phase repetitions P; genomes are scored by the exact \
+       per-phase rate between P and 2P repetitions."
+    in
+    Arg.(value & opt int 2 & info [ "phases" ] ~docv:"P" ~doc)
+  in
+  let emit_arg =
+    let doc =
+      "Write every found worst case as a committable certificate \
+       ($(b,search-*.cert), rsp/1 instance embedded) under $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"DIR" ~doc)
+  in
+  let golden_arg =
+    let doc =
+      "Print the exhaustive-tier snapshot table \
+       (test/golden_search_quick.txt) instead of the per-strategy lines."
+    in
+    Arg.(value & flag & info [ "golden" ] ~doc)
+  in
+  let term =
+    Term.(ret (const action $ strategy_arg $ budget_arg $ n_arg $ d_arg
+               $ per_round_arg $ seed_arg $ evals_arg $ restarts_arg
+               $ phases_arg $ emit_arg $ golden_arg $ jobs_arg
+               $ cache_dir_arg $ resume_arg $ retries_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Search for worst-case instances against the deployed strategies \
+          (exhaustive game tree + guided attacker / differential fuzzer).")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -804,5 +1084,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; exp_cmd; table1_cmd; trace_cmd; sweep_cmd;
-            serve_cmd; load_cmd;
+            search_cmd; serve_cmd; load_cmd;
           ]))

@@ -1,0 +1,169 @@
+module Rat = Prelude.Rat
+
+type t = {
+  strategy : string;
+  opt : int;
+  alg : int;
+  tags : Move.tag array;
+  instance : Sched.Instance.t;
+}
+
+let ratio t = Rat.make t.opt t.alg
+
+let v ~strategy ~opt ~alg ~tags instance =
+  if alg < 1 then invalid_arg "Certificate.v: alg < 1";
+  if opt < 0 then invalid_arg "Certificate.v: opt < 0";
+  if Array.length tags <> Sched.Instance.n_requests instance then
+    invalid_arg "Certificate.v: tags length <> request count";
+  { strategy; opt; alg; tags; instance }
+
+let of_prefix ~strategy ~n ~d ~opt ~alg prefix =
+  let instance, tags = Game.realise ~n ~d prefix in
+  v ~strategy:strategy.Game.name ~opt ~alg ~tags instance
+
+let header = "search-cert"
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s strategy=%s opt=%d alg=%d ratio=%s\n" header
+       Sched.Codec.version t.strategy t.opt t.alg
+       (Rat.to_string (ratio t)));
+  Array.iteri
+    (fun id tag ->
+       match tag with
+       | Move.Neutral -> ()
+       | _ ->
+         Buffer.add_string buf
+           (Printf.sprintf "tag %d %s\n" id (Move.tag_to_string tag)))
+    t.tags;
+  Buffer.add_string buf (Sched.Codec.to_string t.instance);
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let parse_kv ~what s =
+  match String.index_opt s '=' with
+  | Some i ->
+    Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> Error (Printf.sprintf "%s: expected key=value, got %S" what s)
+
+let parse_int ~what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: expected integer, got %S" what s)
+
+let parse_header line =
+  match String.split_on_char ' ' line with
+  | h :: ver :: fields when String.equal h header ->
+    if not (String.equal ver Sched.Codec.version) then
+      Error (Printf.sprintf "unsupported certificate version %S" ver)
+    else
+      let rec go strategy opt alg ratio = function
+        | [] ->
+          (match strategy, opt, alg with
+           | Some s, Some o, Some a -> Ok (s, o, a, ratio)
+           | _ -> Error "certificate header: missing strategy/opt/alg")
+        | f :: rest ->
+          let* k, v = parse_kv ~what:"certificate header" f in
+          (match k with
+           | "strategy" -> go (Some v) opt alg ratio rest
+           | "opt" ->
+             let* o = parse_int ~what:"opt" v in
+             go strategy (Some o) alg ratio rest
+           | "alg" ->
+             let* a = parse_int ~what:"alg" v in
+             go strategy opt (Some a) ratio rest
+           | "ratio" -> go strategy opt alg (Some v) rest
+           | _ ->
+             Error (Printf.sprintf "certificate header: unknown field %S" k))
+      in
+      go None None None None fields
+  | _ -> Error (Printf.sprintf "not a %s line: %S" header line)
+
+let parse_tag_line line =
+  match String.split_on_char ' ' line with
+  | [ "tag"; id; tag ] ->
+    let* id = parse_int ~what:"tag id" id in
+    let* tag = Move.tag_of_string tag in
+    Ok (id, tag)
+  | _ -> Error (Printf.sprintf "bad tag line %S" line)
+
+let parse s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty certificate"
+  | hd :: rest ->
+    let* strategy, opt, alg, ratio_field = parse_header hd in
+    let rec tags acc = function
+      | line :: rest when String.length line >= 4
+                       && String.sub line 0 4 = "tag " ->
+        let* t = parse_tag_line line in
+        tags (t :: acc) rest
+      | rest -> Ok (List.rev acc, rest)
+    in
+    let* tag_list, body = tags [] rest in
+    let* instance = Sched.Codec.of_string (String.concat "\n" body) in
+    let n_requests = Sched.Instance.n_requests instance in
+    let tags = Array.make n_requests Move.Neutral in
+    let* () =
+      List.fold_left
+        (fun acc (id, tag) ->
+           let* () = acc in
+           if id < 0 || id >= n_requests then
+             Error (Printf.sprintf "tag id %d out of range (%d requests)" id
+                      n_requests)
+           else begin
+             tags.(id) <- tag;
+             Ok ()
+           end)
+        (Ok ()) tag_list
+    in
+    if alg < 1 then Error "certificate claims alg < 1"
+    else
+      let t = { strategy; opt; alg; tags; instance } in
+      (match ratio_field with
+       | Some r when not (String.equal r (Rat.to_string (ratio t))) ->
+         Error
+           (Printf.sprintf "ratio field %s inconsistent with opt/alg %s" r
+              (Rat.to_string (ratio t)))
+       | _ -> Ok t)
+
+let check ?metrics t =
+  let* strat =
+    match Game.strategy_of_name t.strategy with
+    | Ok s -> Ok s
+    | Error e -> Error e
+  in
+  let e = Game.evaluate_instance ?metrics strat t.instance t.tags in
+  if not e.Game.agree then
+    Error
+      (Printf.sprintf
+         "kernel and rebuild solvers disagree on the certified instance \
+          (%s)" t.strategy)
+  else if e.Game.alg <> t.alg then
+    Error
+      (Printf.sprintf "claimed alg=%d but %s served %d" t.alg t.strategy
+         e.Game.alg)
+  else if e.Game.opt <> t.opt then
+    Error (Printf.sprintf "claimed opt=%d but OPT is %d" t.opt e.Game.opt)
+  else begin
+    (match Obs.Metrics.resolve metrics with
+     | Some m -> Obs.Metrics.incr m "search.certificates"
+     | None -> ());
+    Ok ()
+  end
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+    output_string oc (render t))
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> parse s
+  | exception Sys_error e -> Error e

@@ -1,0 +1,63 @@
+(** Committable worst-case certificates.
+
+    A certificate packages everything needed to independently re-verify
+    a ratio the search claims: the strategy, the claimed OPT and ALG,
+    the per-request bias tags, and the instance itself in the
+    {!Sched.Codec} rsp/1 format (so the embedded block replays through
+    every tool that speaks rsp/1, including [reqsched load]).
+
+    Format (one record per line; [tag] lines only for non-neutral
+    tags):
+    {v
+    search-cert rsp/1 strategy=A_fix opt=3 alg=2 ratio=3/2
+    tag 0 late
+    instance rsp/1 n=2 d=2 requests=3
+    req 0 0,1 2
+    ...
+    end
+    v}
+
+    {!check} is the trust anchor of the whole search layer: it rebuilds
+    the bias from the tags, replays the instance through
+    {!Sched.Engine.run} under {e both} solvers, recomputes OPT with
+    {!Offline.Opt_stream}, and accepts only if every claim matches and
+    the solvers agree.  Search results are only ever reported after
+    their certificate checks, so transposition pruning and attacker
+    heuristics can never make a {e wrong} claim — only miss a deeper
+    one. *)
+
+type t = {
+  strategy : string;           (** paper name *)
+  opt : int;
+  alg : int;
+  tags : Move.tag array;       (** id-indexed, length = request count *)
+  instance : Sched.Instance.t;
+}
+
+val ratio : t -> Prelude.Rat.t
+(** [opt/alg] exactly. @raise Division_by_zero when [alg = 0]. *)
+
+val v :
+  strategy:string -> opt:int -> alg:int -> tags:Move.tag array ->
+  Sched.Instance.t -> t
+(** @raise Invalid_argument if [tags] length differs from the request
+    count. *)
+
+val of_prefix :
+  strategy:Game.strategy -> n:int -> d:int -> opt:int -> alg:int ->
+  Game.prefix -> t
+(** Certificate for a search state ({!Game.realise} underneath). *)
+
+val render : t -> string
+val parse : string -> (t, string) result
+(** Inverse of {!render}; also rejects a header ratio inconsistent with
+    the claimed [opt]/[alg]. *)
+
+val check : ?metrics:Obs.Metrics.t -> t -> (unit, string) result
+(** Replay and re-verify every claim (see above).  [Error] explains the
+    first mismatch.  Records [search.certificates] on success. *)
+
+val save : path:string -> t -> unit
+(** {!render} to a file. @raise Sys_error on I/O failure. *)
+
+val load : path:string -> (t, string) result

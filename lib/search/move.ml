@@ -1,0 +1,149 @@
+type tag =
+  | Neutral
+  | Late
+  | Early
+  | Prefer of int
+
+let tag_to_string = function
+  | Neutral -> "neutral"
+  | Late -> "late"
+  | Early -> "early"
+  | Prefer r -> Printf.sprintf "prefer:%d" r
+
+let tag_of_string s =
+  match s with
+  | "neutral" -> Ok Neutral
+  | "late" -> Ok Late
+  | "early" -> Ok Early
+  | _ ->
+    (match String.index_opt s ':' with
+     | Some i when String.sub s 0 i = "prefer" ->
+       let rest = String.sub s (i + 1) (String.length s - i - 1) in
+       (match int_of_string_opt rest with
+        | Some r when r >= 0 -> Ok (Prefer r)
+        | _ -> Error (Printf.sprintf "bad prefer resource %S" rest))
+     | _ -> Error (Printf.sprintf "unknown tag %S" s))
+
+let relabel_tag ~perm = function
+  | Prefer r when r >= 0 && r < Array.length perm -> Prefer perm.(r)
+  | t -> t
+
+let bias_of_tags tags : Sched.Strategy.bias =
+  fun ~request ~resource ~round ->
+    let id = request.Sched.Request.id in
+    if id < 0 || id >= Array.length tags then 0
+    else
+      match tags.(id) with
+      | Neutral -> 0
+      | Prefer r -> if resource = r then 1 else 0
+      | Late -> round
+      | Early -> -round
+
+type rtype = {
+  alts : int array;
+  deadline : int;
+  tag : tag;
+}
+
+let rtype ~alts ~deadline ~tag =
+  if deadline < 1 then invalid_arg "Move.rtype: deadline < 1";
+  let alts = List.sort_uniq Int.compare alts in
+  (match alts with
+   | [] -> invalid_arg "Move.rtype: empty alternatives"
+   | a :: _ when a < 0 -> invalid_arg "Move.rtype: negative resource"
+   | _ -> ());
+  { alts = Array.of_list alts; deadline; tag }
+
+(* Total order on tags: resource-free tags first, then Prefer by
+   resource.  Only used for canonical sorting, the numbers are
+   arbitrary but fixed. *)
+let tag_rank = function
+  | Neutral -> (0, 0)
+  | Late -> (1, 0)
+  | Early -> (2, 0)
+  | Prefer r -> (3, r)
+
+let compare_tag a b =
+  let ka, ra = tag_rank a and kb, rb = tag_rank b in
+  if ka <> kb then Int.compare ka kb else Int.compare ra rb
+
+let compare_rtype a b =
+  let c = Int.compare (Array.length a.alts) (Array.length b.alts) in
+  if c <> 0 then c
+  else begin
+    let c = ref 0 in
+    (try
+       Array.iteri
+         (fun i x ->
+            let d = Int.compare x b.alts.(i) in
+            if d <> 0 then begin c := d; raise Exit end)
+         a.alts
+     with Exit -> ());
+    if !c <> 0 then !c
+    else
+      let c = Int.compare a.deadline b.deadline in
+      if c <> 0 then c else compare_tag a.tag b.tag
+  end
+
+let relabel ~perm rt =
+  let alts =
+    Array.map
+      (fun r -> if r >= 0 && r < Array.length perm then perm.(r) else r)
+      rt.alts
+  in
+  Array.sort Int.compare alts;
+  { rt with alts; tag = relabel_tag ~perm rt.tag }
+
+let encode rt =
+  let alts =
+    Array.to_list rt.alts |> List.map string_of_int |> String.concat ","
+  in
+  let tag =
+    match rt.tag with
+    | Neutral -> "n"
+    | Late -> "l"
+    | Early -> "e"
+    | Prefer r -> Printf.sprintf "p%d" r
+  in
+  Printf.sprintf "%s:%d:%s" alts rt.deadline tag
+
+let alt_sets ~n ~k =
+  if n < 1 then invalid_arg "Move.alt_sets: n < 1";
+  if k < 1 then invalid_arg "Move.alt_sets: k < 1";
+  (* size-major, lexicographic within a size *)
+  let rec combs lo size =
+    if size = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun r -> List.map (fun rest -> r :: rest) (combs (r + 1) (size - 1)))
+        (List.init (n - lo) (fun i -> lo + i))
+  in
+  List.concat_map (fun size -> combs 0 size)
+    (List.init (min k n) (fun i -> i + 1))
+
+let types ~n ~k ~deadlines ~tags =
+  if deadlines = [] then invalid_arg "Move.types: no deadlines";
+  if tags = [] then invalid_arg "Move.types: no tags";
+  List.concat_map
+    (fun alts ->
+       List.concat_map
+         (fun deadline ->
+            List.map (fun tag -> rtype ~alts ~deadline ~tag) tags)
+         deadlines)
+    (alt_sets ~n ~k)
+
+let multisets ts ~max =
+  if max < 1 then invalid_arg "Move.multisets: max < 1";
+  let ts = Array.of_list (List.sort_uniq compare_rtype ts) in
+  let m = Array.length ts in
+  (* multisets of exactly [size], as non-decreasing index sequences *)
+  let rec of_size lo size =
+    if size = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun i ->
+           List.map (fun rest -> ts.(i) :: rest) (of_size i (size - 1)))
+        (List.init (m - lo) (fun j -> lo + j))
+  in
+  List.concat_map (fun size -> of_size 0 size)
+    (List.init max (fun i -> i + 1))

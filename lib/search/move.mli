@@ -1,0 +1,72 @@
+(** The adversary's move vocabulary for the worst-case search.
+
+    A move injects a multiset of {e request types} into one round.  A
+    request type fixes the alternative set, the relative deadline and a
+    {!tag} — the tag is the adversary's handle on the strategy's
+    tie-breaking freedom.  Every paper lower bound is phrased "the
+    strategy {e can be implemented such that} …"; in this library that
+    freedom is exactly the bias tier of {!Graph.Tiered} (the lowest
+    tier, so it only ever chooses {e among} matchings already optimal in
+    every strategy tier above it).  Any pure bias is therefore a legal
+    implementation of the strategy, and letting the search pick per-
+    request tags realises the existential quantifier in the proofs. *)
+
+type tag =
+  | Neutral        (** bias 0 everywhere *)
+  | Late           (** bias = slot round: push this request's service late *)
+  | Early          (** bias = −slot round: pull its service early *)
+  | Prefer of int  (** bias 1 on one resource: steer it onto that resource *)
+
+val tag_to_string : tag -> string
+(** ["neutral"], ["late"], ["early"], ["prefer:<r>"] — the certificate
+    grammar. *)
+
+val tag_of_string : string -> (tag, string) result
+
+val relabel_tag : perm:int array -> tag -> tag
+(** Rename resources through [perm] ([Prefer r] becomes
+    [Prefer perm.(r)]; the other tags are resource-free). *)
+
+val bias_of_tags : tag array -> Sched.Strategy.bias
+(** The bias realising an id-indexed tag assignment.  Requests whose id
+    falls outside the array are [Neutral].  Pure, so the kernel and
+    rebuild solvers remain interchangeable ({!Strategies.Global}). *)
+
+type rtype = private {
+  alts : int array;  (** distinct resources, sorted ascending *)
+  deadline : int;
+  tag : tag;
+}
+(** A request type: the unit the adversary injects. *)
+
+val rtype : alts:int list -> deadline:int -> tag:tag -> rtype
+(** Normalises (sorts, dedups) the alternative list.
+    @raise Invalid_argument on an empty list, a negative resource or
+    [deadline < 1]. *)
+
+val compare_rtype : rtype -> rtype -> int
+(** Total order (alternatives, then deadline, then tag); rounds of a
+    canonicalised state are sorted by it. *)
+
+val relabel : perm:int array -> rtype -> rtype
+(** Rename resources through [perm] and re-sort the alternatives. *)
+
+val encode : rtype -> string
+(** Compact stable encoding, e.g. ["0,1:2:l"]; building block of
+    {!Game.canonical_key}. *)
+
+val alt_sets : n:int -> k:int -> int list list
+(** Every non-empty sorted subset of [0..n-1] with at most [k]
+    elements, in a fixed (size-major, then lexicographic) order. *)
+
+val types : n:int -> k:int -> deadlines:int list -> tags:tag list -> rtype list
+(** The full request-type palette: the cross product of {!alt_sets}
+    with the given deadlines and tags, in a fixed order. *)
+
+val multisets : rtype list -> max:int -> rtype list list
+(** Every non-empty multiset of at most [max] palette entries, each
+    sorted by {!compare_rtype}, enumerated size-major.  The order is
+    {e prefix-stable} in [max]: [multisets ts ~max:(m+1)] is
+    [multisets ts ~max:m] with the size-[m+1] multisets appended — the
+    property that makes the exhaustive search value monotone in its
+    request budget. *)

@@ -143,6 +143,156 @@ let test_thm37_exact () =
     [ (2, 3); (4, 4); (6, 2) ]
 
 (* ------------------------------------------------------------------ *)
+(* Table-1 d-sweeps: the per-phase delta rate of each construction,
+   pinned to the exact Table-1 rational at every d in a small sweep.
+   Running at k and k+1 phases and taking (Δopt)/(Δalg) cancels the
+   boundary effects the asymptotic bounds allow for, so the comparison
+   is exact equality, not an inequality. *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let lookup_lb ~d name =
+  match
+    List.find_map
+      (fun (row, lb, _) -> if String.equal row name then lb else None)
+      (Analysis.Bounds.table1 ~d)
+  with
+  | Some lb -> lb
+  | None -> Alcotest.failf "no Table-1 lower bound for %s at d=%d" name d
+
+let phase_rate mk k =
+  let opt1, alg1 = mk k and opt2, alg2 = mk (k + 1) in
+  Rat.make (opt2 - opt1) (alg2 - alg1)
+
+let test_thm21_d_sweep () =
+  List.iter
+    (fun d ->
+       let rate =
+         phase_rate
+           (fun phases ->
+              let sc = Adversary.Thm21.make ~d ~phases in
+              run_scenario_exact
+                (Printf.sprintf "thm21 sweep d=%d k=%d" d phases)
+                sc
+                (Global.fix ~bias:sc.bias ()))
+           2
+       in
+       check rat
+         (Printf.sprintf "thm21 d=%d rate = A_fix lb" d)
+         (lookup_lb ~d "A_fix") rate;
+       check rat
+         (Printf.sprintf "thm21 d=%d rate = 2 - 1/d" d)
+         (Analysis.Bounds.fix_lb ~d) rate)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_thm23_d_sweep () =
+  (* even d >= 4 only: at d = 2 Table 1 takes the stronger 4/3 from
+     Theorem 2.4, not this construction's 3d/(2d+2) = 1 *)
+  List.iter
+    (fun d ->
+       let rate =
+         phase_rate
+           (fun phases ->
+              let sc = Adversary.Thm23.make ~d ~phases in
+              run_scenario_exact
+                (Printf.sprintf "thm23 sweep d=%d k=%d" d phases)
+                sc
+                (Global.fix_balance ~bias:sc.bias ()))
+           2
+       in
+       check rat
+         (Printf.sprintf "thm23 d=%d rate = A_fix_balance lb" d)
+         (lookup_lb ~d "A_fix_balance") rate;
+       check rat
+         (Printf.sprintf "thm23 d=%d rate = 3d/(2d+2)" d)
+         (Analysis.Bounds.fix_balance_lb ~d) rate)
+    [ 4; 6; 8 ]
+
+let test_thm24_d_sweep () =
+  List.iter
+    (fun d ->
+       let rate =
+         phase_rate
+           (fun phases ->
+              let sc = Adversary.Thm24.make ~d ~phases in
+              run_scenario_exact
+                (Printf.sprintf "thm24 sweep d=%d k=%d" d phases)
+                sc
+                (Global.eager ~bias:sc.bias ()))
+           2
+       in
+       check rat
+         (Printf.sprintf "thm24 d=%d rate = A_eager lb = 4/3" d)
+         Analysis.Bounds.eager_lb rate)
+    [ 2; 4; 6 ]
+
+let test_thm24_d2_all_strategies () =
+  (* at d = 2 the same construction also forces A_current,
+     A_fix_balance and A_balance to 4/3 — exactly their Table-1 rows *)
+  List.iter
+    (fun (name, mk) ->
+       let rate =
+         phase_rate
+           (fun phases ->
+              let sc = Adversary.Thm24.make ~d:2 ~phases in
+              let opt = Offline.Opt.value sc.instance in
+              let o = Engine.run sc.instance (mk ~bias:sc.bias) in
+              (opt, o.Sched.Outcome.served))
+           2
+       in
+       check rat
+         (Printf.sprintf "thm24 d=2 forces %s to its Table-1 lb" name)
+         (lookup_lb ~d:2 name) rate)
+    [ ("A_current", fun ~bias -> Global.current ~bias ());
+      ("A_fix_balance", fun ~bias -> Global.fix_balance ~bias ());
+      ("A_balance", fun ~bias -> Global.balance ~bias ()) ]
+
+let test_thm25_d_sweep () =
+  (* the interval-delta rate is diluted by the anchor-maintenance
+     traffic (served in full by both sides), so it sits strictly below
+     (5d+2)/(4d+1) and climbs toward it as the group count grows *)
+  List.iter
+    (fun d ->
+       let rate_at groups =
+         phase_rate
+           (fun intervals ->
+              let sc = Adversary.Thm25.make ~d ~groups ~intervals in
+              run_scenario_exact
+                (Printf.sprintf "thm25 sweep d=%d g=%d k=%d" d groups
+                   intervals)
+                sc
+                (Global.balance ~bias:sc.bias ()))
+           2
+       in
+       let lo = rate_at 2 and hi = rate_at 6 in
+       let lb = Analysis.Bounds.balance_lb ~d in
+       check Alcotest.bool
+         (Printf.sprintf
+            "thm25 d=%d rate grows with groups (%s < %s <= lb %s)" d
+            (Rat.to_string lo) (Rat.to_string hi) (Rat.to_string lb))
+         true
+         (Rat.compare lo hi < 0 && Rat.compare hi lb <= 0))
+    [ 2; 5; 8 ]
+
+let test_thm37_d_sweep () =
+  List.iter
+    (fun d ->
+       let rate =
+         phase_rate
+           (fun intervals ->
+              let sc, priority = Adversary.Thm37.make ~d ~intervals in
+              run_scenario_exact
+                (Printf.sprintf "thm37 sweep d=%d k=%d" d intervals)
+                sc
+                (Localstrat.Local.fix ~priority ()))
+           2
+       in
+       check rat
+         (Printf.sprintf "thm37 d=%d rate = 2 exactly" d)
+         Analysis.Bounds.local_fix_ratio rate)
+    [ 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
 (* theorem parameter validation *)
 
 let test_parameter_validation () =
@@ -325,6 +475,17 @@ let () =
           Alcotest.test_case "thm 3.7" `Quick test_thm37_exact;
           Alcotest.test_case "parameter validation" `Quick
             test_parameter_validation;
+        ] );
+      ( "table-1 d-sweeps",
+        [
+          Alcotest.test_case "thm 2.1: 2 - 1/d" `Quick test_thm21_d_sweep;
+          Alcotest.test_case "thm 2.3: 3d/(2d+2)" `Quick test_thm23_d_sweep;
+          Alcotest.test_case "thm 2.4: 4/3" `Quick test_thm24_d_sweep;
+          Alcotest.test_case "thm 2.4 at d=2: all strategies" `Quick
+            test_thm24_d2_all_strategies;
+          Alcotest.test_case "thm 2.5: toward (5d+2)/(4d+1)" `Quick
+            test_thm25_d_sweep;
+          Alcotest.test_case "thm 3.7: exactly 2" `Quick test_thm37_d_sweep;
         ] );
       ( "thm 2.6 adaptive",
         [

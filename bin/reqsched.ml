@@ -565,7 +565,7 @@ let manual_arg =
 
 let serve_cmd =
   let action listen shards n d strategy solver seed tick_ms manual queue_cap
-      read_timeout mfmt mout =
+      max_batch outbox_cap read_timeout mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
     with_solver solver @@ fun solver ->
     (* validate the strategy name once up front; per-shard factories
@@ -588,6 +588,8 @@ let serve_cmd =
           strategy = per_shard;
           tick = (if manual then `Manual else `Every (tick_ms /. 1000.0));
           queue_capacity = queue_cap;
+          max_batch;
+          outbox_capacity = outbox_cap;
           read_timeout;
           name = "reqsched";
         }
@@ -650,6 +652,21 @@ let serve_cmd =
     in
     Arg.(value & opt int 1024 & info [ "queue-cap" ] ~docv:"N" ~doc)
   in
+  let max_batch_arg =
+    let doc =
+      "Longest $(b,batch) wire line accepted; longer batches are \
+       rejected as invalid."
+    in
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let outbox_cap_arg =
+    let doc =
+      "Per-shard reply ring bound; a full ring stalls that shard with \
+       backpressure (counted as serve.outbox_stalls), never drops a \
+       reply."
+    in
+    Arg.(value & opt int 4096 & info [ "outbox-cap" ] ~docv:"N" ~doc)
+  in
   let read_timeout_arg =
     let doc = "Idle-connection timeout in seconds (0 disables)." in
     Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECS" ~doc)
@@ -657,8 +674,8 @@ let serve_cmd =
   let term =
     Term.(ret (const action $ listen_arg $ shards_arg $ n_arg $ d_arg
                $ strategy_arg $ solver_arg $ seed_arg $ tick_ms_arg
-               $ manual_arg $ queue_cap_arg $ read_timeout_arg
-               $ metrics_fmt_arg $ metrics_out_arg))
+               $ manual_arg $ queue_cap_arg $ max_batch_arg $ outbox_cap_arg
+               $ read_timeout_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -672,7 +689,7 @@ let serve_cmd =
 
 let load_cmd =
   let action connect mode workload n d rounds load seed users total tick_ms
-      manual trace_in save_trace decisions_out mfmt mout =
+      manual batch trace_in save_trace decisions_out mfmt mout =
     with_metrics mfmt mout @@ fun _metrics ->
     let inst =
       match trace_in with
@@ -692,12 +709,13 @@ let load_cmd =
         | "open" ->
           Serve.Client.open_loop ~addr:connect ~inst
             ~tick:(if manual then `Manual else `Every (tick_ms /. 1000.0))
-            ()
+            ~batch ()
         | "closed" ->
           let total =
             if total > 0 then total else Sched.Instance.n_requests inst
           in
-          Serve.Client.closed_loop ~addr:connect ~inst ~users ~total ()
+          Serve.Client.closed_loop ~addr:connect ~inst ~users ~total ~batch
+            ()
         | other ->
           Error (Printf.sprintf "unknown mode %S (expected open or closed)"
                    other)
@@ -759,6 +777,14 @@ let load_cmd =
     in
     Arg.(value & opt int 0 & info [ "total" ] ~docv:"N" ~doc)
   in
+  let batch_arg =
+    let doc =
+      "Submission batch size: group up to $(docv) requests per wire \
+       $(b,batch) line (1 = one $(b,req) line per request).  Decisions \
+       are identical across batch sizes in $(b,--manual) mode."
+    in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
   let trace_arg =
     let doc =
       "Replay the exact instance from $(docv) (written by \
@@ -782,7 +808,7 @@ let load_cmd =
   let term =
     Term.(ret (const action $ connect_arg $ mode_arg $ workload_arg $ n_arg
                $ d_arg $ rounds_arg $ load_arg $ seed_arg $ users_arg
-               $ total_arg $ tick_ms_arg $ manual_arg $ trace_arg
+               $ total_arg $ tick_ms_arg $ manual_arg $ batch_arg $ trace_arg
                $ save_trace_arg $ decisions_arg $ metrics_fmt_arg
                $ metrics_out_arg))
   in

@@ -1,40 +1,111 @@
-(* A small mutex-protected FIFO queue with a hard capacity.
+(* A mutex-protected FIFO over a flat ring buffer with a hard capacity.
 
-   Multi-producer (the I/O domain pushes, and tests push from several
-   domains), single-consumer (the owning shard drains).  Overflow is
-   the producer's signal to reject explicitly — nothing is ever dropped
-   silently.  Consumers poll ([drain] is non-blocking); the serve loops
-   tick on their own clocks, so no condition variable is needed. *)
+   Multi-producer (the I/O domain pushes, shards push replies, and tests
+   push from several domains), single-consumer (the owner drains).
+   Overflow is the producer's signal to apply backpressure explicitly —
+   nothing is ever dropped silently.  Consumers poll ([drain_into] is
+   non-blocking); the serve loops tick on their own clocks, so no
+   condition variable is needed.
+
+   The ring grows geometrically up to [capacity] but never shrinks, so a
+   steady-state producer/consumer pair allocates nothing: pushes write
+   into the ring in place and [drain_into] copies out with at most two
+   [Array.blit]s into the caller's reusable buffer.  [capacity] may be
+   huge (e.g. [max_int]); only the high-water mark is ever allocated. *)
 
 type 'a t = {
   mutex : Mutex.t;
   capacity : int;
-  mutable items : 'a list; (* reversed: newest first *)
+  mutable buf : 'a array; (* ring storage; [||] until the first push *)
+  mutable head : int;     (* index of the oldest element *)
   mutable length : int;
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
-  { mutex = Mutex.create (); capacity; items = []; length = 0 }
+  { mutex = Mutex.create (); capacity; buf = [||]; head = 0; length = 0 }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Make room for [extra] more elements (never beyond capacity; the
+   caller has already clamped).  [witness] seeds fresh cells — 'a array
+   cells must hold a value of the right type.  Linearizes the ring. *)
+let grow t ~extra ~witness =
+  let size = Array.length t.buf in
+  if t.length + extra > size then begin
+    let want = t.length + extra in
+    let size' = min t.capacity (max want (max 16 (2 * size))) in
+    let buf' = Array.make size' witness in
+    let tail = min t.length (size - t.head) in
+    if tail > 0 then Array.blit t.buf t.head buf' 0 tail;
+    if t.length > tail then Array.blit t.buf 0 buf' tail (t.length - tail);
+    t.buf <- buf';
+    t.head <- 0
+  end
+
+let unlocked_push t x =
+  grow t ~extra:1 ~witness:x;
+  let size = Array.length t.buf in
+  t.buf.((t.head + t.length) mod size) <- x;
+  t.length <- t.length + 1
+
 let try_push t x =
   with_lock t (fun () ->
       if t.length >= t.capacity then false
       else begin
-        t.items <- x :: t.items;
-        t.length <- t.length + 1;
+        unlocked_push t x;
         true
       end)
 
+let push_slice t src ~off ~len =
+  if off < 0 || len < 0 || off + len > Array.length src then
+    invalid_arg "Chan.push_slice: bad slice";
+  if len = 0 then 0
+  else
+    with_lock t (fun () ->
+        let accept = min len (t.capacity - t.length) in
+        if accept > 0 then begin
+          grow t ~extra:accept ~witness:src.(off);
+          let size = Array.length t.buf in
+          let at = (t.head + t.length) mod size in
+          let first = min accept (size - at) in
+          Array.blit src off t.buf at first;
+          if accept > first then
+            Array.blit src (off + first) t.buf 0 (accept - first);
+          t.length <- t.length + accept
+        end;
+        accept)
+
+(* Stale ring cells keep references to drained elements until they are
+   overwritten — bounded by the ring's high-water mark, and the serve
+   queues carry small messages, so no clearing pass is done here. *)
+let unlocked_drain_into t dst =
+  let count = t.length in
+  if count > 0 then begin
+    let size = Array.length t.buf in
+    if Array.length !dst < count then
+      dst := Array.make (max count (2 * Array.length !dst)) t.buf.(t.head);
+    let first = min count (size - t.head) in
+    Array.blit t.buf t.head !dst 0 first;
+    if count > first then Array.blit t.buf 0 !dst first (count - first);
+    t.head <- 0;
+    t.length <- 0
+  end;
+  count
+
+let drain_into t dst = with_lock t (fun () -> unlocked_drain_into t dst)
+
 let drain t =
   with_lock t (fun () ->
-      let xs = t.items in
-      t.items <- [];
+      let size = Array.length t.buf in
+      let out = ref [] in
+      for i = t.length - 1 downto 0 do
+        out := t.buf.((t.head + i) mod size) :: !out
+      done;
+      t.head <- 0;
       t.length <- 0;
-      List.rev xs)
+      !out)
 
 let length t = with_lock t (fun () -> t.length)

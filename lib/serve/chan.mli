@@ -1,21 +1,39 @@
-(** Bounded multi-producer FIFO queues for the serve data plane.
+(** Bounded multi-producer FIFO queues for the serve data plane, backed
+    by a flat ring buffer.
 
     The I/O domain pushes admitted requests into a shard's inbox and
-    shards push responses into the shared outbox.  Capacity is a hard
-    admission-control bound: {!try_push} refuses instead of blocking or
-    dropping, so the caller can send an explicit reject. *)
+    each shard pushes responses into its own outbox.  Capacity is a hard
+    admission-control bound: {!try_push} / {!push_slice} refuse instead
+    of blocking or dropping, so the caller can send an explicit reject
+    or retry with backpressure.  The ring grows geometrically up to the
+    capacity and is then reused in place — steady-state traffic through
+    a channel allocates nothing ({!drain_into} copies into a caller-
+    owned reusable buffer with at most two blits). *)
 
 type 'a t
 
 val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 1].  Use [max_int] for an
-    effectively unbounded queue (the response path, where backpressure
-    is applied upstream by the arrival bound). *)
+(** @raise Invalid_argument if [capacity < 1].  [capacity] may be
+    [max_int] for an effectively unbounded queue; storage only ever
+    grows to the high-water mark actually reached. *)
 
 val try_push : 'a t -> 'a -> bool
 (** Append; [false] iff the queue is at capacity. *)
 
+val push_slice : 'a t -> 'a array -> off:int -> len:int -> int
+(** Append [src.(off .. off+len-1)] in order under one lock
+    acquisition; returns how many were accepted (the prefix that fit
+    under the capacity — the caller handles the rejected suffix).
+    @raise Invalid_argument on a bad slice. *)
+
+val drain_into : 'a t -> 'a array ref -> int
+(** Remove everything, oldest first, into [!dst] (grown geometrically
+    when too small, reused otherwise) and return the count.  Cells of
+    [!dst] beyond the count are unspecified.  Non-blocking. *)
+
 val drain : 'a t -> 'a list
-(** Remove and return everything, oldest first.  Non-blocking. *)
+(** Remove and return everything, oldest first.  Non-blocking.
+    Allocates; the hot paths use {!drain_into}. *)
 
 val length : 'a t -> int
+(** O(1) under the lock. *)

@@ -67,30 +67,47 @@ let recv ?(timeout = 10.0) t =
   | Ok None -> Error (Printf.sprintf "timed out after %.1fs" timeout)
   | Error _ as e -> e
 
+(* Same resolution hazards as the server side: gethostbyname raises
+   Not_found on an unknown name and can return an empty address list —
+   both become clean errors here, never escaping exceptions. *)
+let resolve_host host =
+  if host = "" || host = "localhost" then Ok Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> Ok a
+    | exception Failure _ ->
+      (match Unix.gethostbyname host with
+       | { Unix.h_addr_list = [||]; _ } ->
+         Error (Printf.sprintf "host %S resolved to no addresses" host)
+       | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+       | exception Not_found ->
+         Error (Printf.sprintf "cannot resolve host %S" host))
+
 let connect addr ~client =
   let sock () =
     match (addr : Server.addr) with
     | Server.Unix_sock path ->
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
-      fd
+      Ok fd
     | Server.Tcp (host, port) ->
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      let ip =
-        if host = "" || host = "localhost" then Unix.inet_addr_loopback
-        else
-          (try Unix.inet_addr_of_string host
-           with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0))
-      in
-      Unix.connect fd (Unix.ADDR_INET (ip, port));
-      fd
+      (match resolve_host host with
+       | Error _ as e -> e
+       | Ok ip ->
+         let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+         Unix.connect fd (Unix.ADDR_INET (ip, port));
+         Ok fd)
   in
   match sock () with
   | exception Unix.Unix_error (e, _, _) ->
     Error
       (Printf.sprintf "cannot connect to %s: %s"
          (Server.addr_to_string addr) (Unix.error_message e))
-  | fd ->
+  | Error m ->
+    Error
+      (Printf.sprintf "cannot connect to %s: %s"
+         (Server.addr_to_string addr) m)
+  | Ok fd ->
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let t = { fd; inq = Buffer.create 256; lines = []; closed = false } in
     (match send t (Protocol.Hello { client }) with
@@ -123,6 +140,7 @@ type report = {
   rejected : int;
   expired : int;
   duration : float;
+  submit_s : float;
   rtt : Stats.t;
   rtt_samples : float array;
   decisions : (int * outcome) array;
@@ -172,7 +190,7 @@ let note tr msg =
     tr.terminals <- tr.terminals + 1;
     true
 
-let report_of tr ~submitted ~duration =
+let report_of tr ~submitted ~duration ~submit_s =
   let scheduled = ref 0 and rejected = ref 0 and expired = ref 0 in
   Hashtbl.iter
     (fun _ -> function
@@ -191,6 +209,7 @@ let report_of tr ~submitted ~duration =
     rejected = !rejected;
     expired = !expired;
     duration;
+    submit_s;
     rtt = Stats.copy tr.rtt_acc;
     rtt_samples = Array.of_list (List.rev tr.samples);
     decisions;
@@ -199,6 +218,21 @@ let report_of tr ~submitted ~duration =
 let submit_request conn tr ~tag ~alternatives ~deadline =
   Hashtbl.replace tr.sent_at tag (Unix.gettimeofday ());
   send conn (Protocol.Submit { tag; alternatives; deadline })
+
+(* A singleton goes out as a plain [req] line (byte-compatible with an
+   unbatched client); anything longer becomes one [batch] line. *)
+let submit_group conn tr reqs =
+  match reqs with
+  | [] -> Ok ()
+  | [ (r : Protocol.request) ] ->
+    submit_request conn tr ~tag:r.tag ~alternatives:r.alternatives
+      ~deadline:r.deadline
+  | _ ->
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun (r : Protocol.request) -> Hashtbl.replace tr.sent_at r.tag now)
+      reqs;
+    send conn (Protocol.Batch reqs)
 
 (* Drain responses until [stop] says we are done (or [budget] seconds
    pass, which is an error described by [what]). *)
@@ -225,7 +259,10 @@ let drain_until conn tr ~budget ~what ~stop =
 let request_fields (r : Sched.Request.t) =
   (Array.to_list r.Sched.Request.alternatives, r.Sched.Request.deadline)
 
-let open_loop ~addr ~(inst : Sched.Instance.t) ~tick ?(client = "load") () =
+let open_loop ~addr ~(inst : Sched.Instance.t) ~tick ?(batch = 1)
+    ?(client = "load") () =
+  if batch < 1 then Error "open_loop: batch must be >= 1"
+  else
   match connect addr ~client with
   | Error _ as e -> e
   | Ok conn ->
@@ -233,17 +270,32 @@ let open_loop ~addr ~(inst : Sched.Instance.t) ~tick ?(client = "load") () =
     let total = Sched.Instance.n_requests inst in
     let horizon = inst.Sched.Instance.horizon in
     let t0 = Unix.gettimeofday () in
+    (* wall time spent rendering and writing submissions — the wire
+       path batching accelerates, reported apart from round-trip waits *)
+    let submit_clock = ref 0.0 in
     let submit_round round =
-      Array.fold_left
-        (fun acc (r : Sched.Request.t) ->
-           match acc with
-           | Error _ -> acc
-           | Ok () ->
-             let alternatives, deadline = request_fields r in
-             submit_request conn tr ~tag:r.Sched.Request.id ~alternatives
-               ~deadline)
-        (Ok ())
-        (Sched.Instance.arrivals_at inst round)
+      (* a round's arrivals go out in submission order, chunked into
+         groups of at most [batch] *)
+      let arrivals = Sched.Instance.arrivals_at inst round in
+      let n = Array.length arrivals in
+      let rec go i =
+        if i >= n then Ok ()
+        else
+          let len = min batch (n - i) in
+          let reqs =
+            List.init len (fun k ->
+                let r = arrivals.(i + k) in
+                let alternatives, deadline = request_fields r in
+                { Protocol.tag = r.Sched.Request.id; alternatives; deadline })
+          in
+          match submit_group conn tr reqs with
+          | Error _ as e -> e
+          | Ok () -> go (i + len)
+      in
+      let c0 = Unix.gettimeofday () in
+      let r = go 0 in
+      submit_clock := !submit_clock +. (Unix.gettimeofday () -. c0);
+      r
     in
     let result =
       let* () =
@@ -314,12 +366,14 @@ let open_loop ~addr ~(inst : Sched.Instance.t) ~tick ?(client = "load") () =
     close conn;
     (match result with
      | Error m -> Error m
-     | Ok () -> Ok (report_of tr ~submitted:total ~duration))
+     | Ok () ->
+       Ok (report_of tr ~submitted:total ~duration ~submit_s:!submit_clock))
 
 let closed_loop ~addr ~(inst : Sched.Instance.t) ~users ~total
-    ?(client = "load") () =
+    ?(batch = 1) ?(client = "load") () =
   if users < 1 then Error "closed_loop: users must be >= 1"
   else if total < 0 then Error "closed_loop: total must be >= 0"
+  else if batch < 1 then Error "closed_loop: batch must be >= 1"
   else if Sched.Instance.n_requests inst = 0 && total > 0 then
     Error "closed_loop: the workload instance has no requests"
   else
@@ -330,25 +384,37 @@ let closed_loop ~addr ~(inst : Sched.Instance.t) ~users ~total
       let n_req = Sched.Instance.n_requests inst in
       let t0 = Unix.gettimeofday () in
       let next = ref 0 in
-      let submit_next () =
-        if !next >= total then Ok ()
-        else begin
-          let r = inst.Sched.Instance.requests.(!next mod n_req) in
-          let alternatives, deadline = request_fields r in
-          let tag = !next in
-          incr next;
-          submit_request conn tr ~tag ~alternatives ~deadline
-        end
+      let submit_clock = ref 0.0 in
+      (* Submit up to [k] more requests, chunked into groups of at most
+         [batch]; stops early when [total] is reached. *)
+      let submit_up_to k =
+        let rec go k =
+          let len = min (min k batch) (total - !next) in
+          if len <= 0 then Ok ()
+          else
+            let reqs =
+              List.init len (fun _ ->
+                  let r = inst.Sched.Instance.requests.(!next mod n_req) in
+                  let alternatives, deadline = request_fields r in
+                  let tag = !next in
+                  incr next;
+                  { Protocol.tag; alternatives; deadline })
+            in
+            let* () = submit_group conn tr reqs in
+            go (k - len)
+        in
+        let c0 = Unix.gettimeofday () in
+        let r = go k in
+        submit_clock := !submit_clock +. (Unix.gettimeofday () -. c0);
+        r
       in
       let result =
-        let rec prime k =
-          if k = 0 then Ok ()
-          else
-            let* () = submit_next () in
-            prime (k - 1)
-        in
-        let* () = prime (min users total) in
-        (* Each terminal frees a "user" slot: submit the next request. *)
+        let* () = submit_up_to (min users total) in
+        (* Each terminal frees a "user" slot.  Freed slots are refilled
+           together: after the blocking read, already-buffered responses
+           are absorbed first ([recv_opt ~timeout:0.] never touches the
+           socket), so a burst of terminals becomes one batched refill
+           instead of one send per response. *)
         let rec serve () =
           if tr.terminals >= total then Ok ()
           else
@@ -357,8 +423,21 @@ let closed_loop ~addr ~(inst : Sched.Instance.t) ~users ~total
             | Ok (Protocol.Error { message }) ->
               Error ("server error: " ^ message)
             | Ok msg ->
-              let fresh = note tr msg in
-              let* () = if fresh then submit_next () else Ok () in
+              let fresh = ref (if note tr msg then 1 else 0) in
+              let rec absorb () =
+                if batch > 1 then
+                  match recv_opt ~timeout:0.0 conn with
+                  | Ok (Some (Protocol.Error { message })) ->
+                    Error ("server error: " ^ message)
+                  | Ok (Some msg) ->
+                    if note tr msg then incr fresh;
+                    absorb ()
+                  | Ok None -> Ok ()
+                  | Error _ as e -> e
+                else Ok ()
+              in
+              let* () = absorb () in
+              let* () = submit_up_to !fresh in
               serve ()
         in
         let* () = serve () in
@@ -369,7 +448,10 @@ let closed_loop ~addr ~(inst : Sched.Instance.t) ~users ~total
       close conn;
       (match result with
        | Error m -> Error m
-       | Ok () -> Ok (report_of tr ~submitted:!next ~duration))
+       | Ok () ->
+         Ok
+           (report_of tr ~submitted:!next ~duration
+              ~submit_s:!submit_clock))
 
 let render_decisions report =
   let b = Buffer.create (32 * Array.length report.decisions) in

@@ -38,6 +38,10 @@ type report = {
   rejected : int;
   expired : int;
   duration : float;           (** wall-clock seconds for the whole run *)
+  submit_s : float;           (** seconds spent rendering and writing
+                                  submissions — the wire path batching
+                                  accelerates, measured apart from
+                                  round-trip and response waits *)
   rtt : Prelude.Stats.t;      (** submit-to-terminal latency summary *)
   rtt_samples : float array;  (** raw latencies, submission order — feed
                                   to {!Prelude.Stats.quantile} *)
@@ -48,6 +52,7 @@ val open_loop :
   addr:Server.addr ->
   inst:Sched.Instance.t ->
   tick:[ `Manual | `Every of float ] ->
+  ?batch:int ->
   ?client:string ->
   unit ->
   (report, string) result
@@ -57,21 +62,28 @@ val open_loop :
     server makes scheduling decisions a deterministic function of the
     instance (byte-identical {!render_decisions} across runs).
     [`Every dt] paces rounds on the wall clock for interval-tick
-    servers.  Succeeds only once {e every} submitted tag has exactly
-    one terminal response. *)
+    servers.  [batch] (default 1) chunks each round's arrivals into
+    [batch]-long wire batches, preserving submission order — in manual
+    mode decisions are byte-identical for every batch size.  Succeeds
+    only once {e every} submitted tag has exactly one terminal
+    response. *)
 
 val closed_loop :
   addr:Server.addr ->
   inst:Sched.Instance.t ->
   users:int ->
   total:int ->
+  ?batch:int ->
   ?client:string ->
   unit ->
   (report, string) result
 (** [users] outstanding requests are kept in flight (each terminal
     response triggers the next submission) until [total] have been
     submitted and resolved, cycling through the instance's requests
-    for alternatives/deadlines.  Tags are submission indices. *)
+    for alternatives/deadlines.  Tags are submission indices.
+    [batch] (default 1) groups refills: buffered terminals are
+    absorbed together and the freed slots resubmitted as one wire
+    batch of at most [batch] requests. *)
 
 val render_decisions : report -> string
 (** One line per tag, sorted: ["t<tag> sched@<round> S<res>" | "t<tag>

@@ -22,6 +22,7 @@ type reject_reason =
 type client_msg =
   | Hello of { client : string }
   | Submit of request
+  | Batch of request list (* non-empty; one line, one parse, any count *)
   | Tick
   | Bye
 
@@ -42,11 +43,13 @@ let render_reject_reason = function
   | Invalid "" -> "invalid"
   | Invalid detail -> "invalid " ^ detail
 
+let render_req { tag; alternatives; deadline } =
+  Sched.Codec.render_req_fields ~first:tag ~alternatives ~deadline
+
 let render_client = function
   | Hello { client } -> Printf.sprintf "hello %s %s" version client
-  | Submit { tag; alternatives; deadline } ->
-    "req "
-    ^ Sched.Codec.render_req_fields ~first:tag ~alternatives ~deadline
+  | Submit r -> "req " ^ render_req r
+  | Batch rs -> "batch " ^ String.concat ";" (List.map render_req rs)
   | Tick -> "tick"
   | Bye -> "bye"
 
@@ -86,6 +89,13 @@ let parse_hello ~keyword rest =
       (Printf.sprintf "unsupported protocol version %S (want %s)" v version)
   | _ -> Error (Printf.sprintf "expected '%s %s <name>'" keyword version)
 
+let parse_req rest =
+  match Sched.Codec.parse_req_fields ~what:"tag" rest with
+  | Ok (tag, alternatives, deadline) when tag >= 0 ->
+    Ok { tag; alternatives; deadline }
+  | Ok (tag, _, _) -> Error (Printf.sprintf "negative tag %d" tag)
+  | Error _ as e -> e
+
 let parse_client line =
   match line with
   | "tick" -> Ok Tick
@@ -97,14 +107,24 @@ let parse_client line =
          (parse_hello ~keyword:"hello" rest)
      | None ->
        (match strip_keyword ~keyword:"req" line with
-        | Some rest ->
-          (match Sched.Codec.parse_req_fields ~what:"tag" rest with
-           | Ok (tag, alternatives, deadline) when tag >= 0 ->
-             Ok (Submit { tag; alternatives; deadline })
-           | Ok (tag, _, _) ->
-             Error (Printf.sprintf "negative tag %d" tag)
-           | Error _ as e -> e)
-        | None -> Error (Printf.sprintf "unknown client message %S" line)))
+        | Some rest -> Result.map (fun r -> Submit r) (parse_req rest)
+        | None ->
+          (match strip_keyword ~keyword:"batch" line with
+           | Some "" -> Error "empty batch"
+           | Some rest ->
+             let rec go acc = function
+               | [] -> Ok (Batch (List.rev acc))
+               | part :: parts ->
+                 (match parse_req part with
+                  | Ok r -> go (r :: acc) parts
+                  | Error m ->
+                    Error
+                      (Printf.sprintf "batch entry %d: %s"
+                         (List.length acc) m))
+             in
+             go [] (String.split_on_char ';' rest)
+           | None ->
+             Error (Printf.sprintf "unknown client message %S" line))))
 
 let parse_reject_reason s =
   match s with

@@ -6,9 +6,9 @@
     the same bytes — the basis of byte-identical replay.
 
     Conversation shape: the client opens with [Hello] and the server
-    answers [Welcome]; each [Submit] eventually earns {e exactly one}
-    terminal response carrying its tag — [Scheduled], [Rejected] or
-    [Expired].  [Tick] (manual-tick servers only) advances one
+    answers [Welcome]; each submitted request — one per [Submit] line,
+    many per [Batch] line — eventually earns {e exactly one} terminal
+    response carrying its tag: [Scheduled], [Rejected] or [Expired].  [Tick] (manual-tick servers only) advances one
     scheduling round and is acknowledged with [Round] after every shard
     has stepped.  [Error] reports a protocol violation; the server
     closes the connection after sending it.
@@ -34,6 +34,12 @@ type reject_reason =
 type client_msg =
   | Hello of { client : string }
   | Submit of request
+  | Batch of request list
+      (** many submissions in one line ([batch r;r;…], entries separated
+          by [';']) — one parse and one grouped inbox push server-side.
+          Never empty: rendering an empty batch is the caller's bug and
+          [parse_client] rejects it.  Each entry earns its own terminal
+          response, exactly as if submitted via [Submit]. *)
   | Tick
   | Bye
 

@@ -2,9 +2,12 @@
 
    One I/O domain owns the listener and every client socket (nonblocking,
    select-driven): it frames lines, parses messages, applies admission
-   control and routes accepted requests to shard inboxes; shard domains
-   (Shard.run) own the engines and push responses into the shared outbox,
-   which the I/O domain writes back to clients.  Client failures (EPIPE,
+   control and routes accepted requests to shard inboxes — a batch line
+   becomes one grouped push per target shard.  Shard domains (Shard.run)
+   own the engines and push responses into per-shard outbox rings; the
+   I/O domain merges and flushes all of them on every loop iteration, so
+   shards never contend with each other on the reply path.  Client
+   failures (EPIPE,
    ECONNRESET, abrupt EOF with requests in flight) are strictly an I/O
    domain affair: the connection is closed and counted, the shards never
    notice.
@@ -51,6 +54,8 @@ type config = {
   strategy : shard:int -> Sched.Strategy.factory;
   tick : [ `Every of float | `Manual ];
   queue_capacity : int;
+  max_batch : int;      (* longest batch line accepted *)
+  outbox_capacity : int; (* per-shard reply ring size *)
   read_timeout : float; (* seconds; <= 0 disables *)
   name : string;
 }
@@ -60,7 +65,7 @@ type t = {
   listen_fd : Unix.file_descr;
   shards : Shard.t array;
   stride : int;
-  outbox : (int * Protocol.server_msg) Chan.t;
+  outboxes : (int * Protocol.server_msg) Chan.t array; (* one per shard *)
   draining : bool Atomic.t;
   tick_target : int Atomic.t;
   metrics : Obs.Metrics.t option;
@@ -75,30 +80,73 @@ type t = {
 (* sockets *)
 
 let resolve_host host =
-  if host = "" || host = "0.0.0.0" then Unix.inet_addr_any
-  else if host = "localhost" then Unix.inet_addr_loopback
+  if host = "" || host = "0.0.0.0" then Ok Unix.inet_addr_any
+  else if host = "localhost" then Ok Unix.inet_addr_loopback
   else
     match Unix.inet_addr_of_string host with
-    | a -> a
+    | a -> Ok a
     | exception Failure _ ->
-      (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      (* gethostbyname raises Not_found on an unknown name, and a
+         resolvable name can still come back with an empty address list
+         — both must surface as a clean error, not an exception *)
+      (match Unix.gethostbyname host with
+       | { Unix.h_addr_list = [||]; _ } ->
+         Error (Printf.sprintf "host %S resolved to no addresses" host)
+       | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+       | exception Not_found ->
+         Error (Printf.sprintf "cannot resolve host %S" host))
+
+(* Reclaim a unix-socket path only when the existing file really is a
+   socket (a stale leftover from a previous run); anything else at that
+   path is someone else's data and replacing it would destroy it. *)
+let reclaim_socket_path path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    (try
+       Unix.unlink path;
+       Ok ()
+     with Unix.Unix_error (e, _, _) ->
+       Error
+         (Printf.sprintf "cannot remove stale socket %s: %s" path
+            (Unix.error_message e)))
+  | { Unix.st_kind = _; _ } ->
+    Error
+      (Printf.sprintf "refusing to replace %s: existing file is not a socket"
+         path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot stat %s: %s" path (Unix.error_message e))
 
 let open_listener addr =
-  match addr with
-  | Unix_sock path ->
-    if Sys.file_exists path then (try Unix.unlink path with _ -> ());
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 64;
-    Unix.set_nonblock fd;
-    fd
-  | Tcp (host, port) ->
-    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt fd Unix.SO_REUSEADDR true;
-    Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
-    Unix.listen fd 64;
-    Unix.set_nonblock fd;
-    fd
+  let ( let* ) = Result.bind in
+  let listen_on fd sockaddr =
+    match
+      Unix.bind fd sockaddr;
+      Unix.listen fd 64;
+      Unix.set_nonblock fd
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, arg) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s (%s)" (Unix.error_message e) arg)
+  in
+  let res =
+    match addr with
+    | Unix_sock path ->
+      let* () = reclaim_socket_path path in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      listen_on fd (Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let* ip = resolve_host host in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      listen_on fd (Unix.ADDR_INET (ip, port))
+  in
+  Result.map_error
+    (fun e ->
+       Printf.sprintf "cannot listen on %s: %s" (addr_to_string addr) e)
+    res
 
 (* ------------------------------------------------------------------ *)
 (* the I/O domain *)
@@ -138,47 +186,109 @@ let io_loop t =
         Obs.Metrics.incr m "serve.client_errors"
     end
   in
-  let shard_of_resource r = t.shards.(r / t.stride) in
+  let shard_index_of_resource r = r / t.stride in
   let reject conn ~tag reason counter =
     Obs.Metrics.incr m counter;
     queue_msg conn (Protocol.Rejected { tag; reason })
   in
-  let admit conn ({ Protocol.tag; alternatives; deadline } : Protocol.request)
+  (* [None] when well-formed; [Some detail] says what is wrong *)
+  let check_valid ({ Protocol.alternatives; deadline; _ } : Protocol.request)
       =
+    match alternatives with
+    | [] -> Some "empty alternative list"
+    | _ ->
+      (match
+         List.find_opt
+           (fun a -> a < 0 || a >= t.cfg.n_resources)
+           alternatives
+       with
+       | Some a ->
+         Some
+           (Printf.sprintf "resource %d out of range (n=%d)" a
+              t.cfg.n_resources)
+       | None ->
+         if deadline < 1 || deadline > t.cfg.d then
+           Some
+             (Printf.sprintf "deadline %d outside 1..%d" deadline t.cfg.d)
+         else None)
+  in
+  let admit conn ({ Protocol.tag; alternatives; deadline } as req :
+                    Protocol.request) =
     Obs.Metrics.incr m "serve.requests";
     if Atomic.get t.draining then
       reject conn ~tag Protocol.Draining "serve.rejected.draining"
     else
-      let invalid detail =
+      match check_valid req with
+      | Some detail ->
         reject conn ~tag (Protocol.Invalid detail) "serve.rejected.invalid"
+      | None ->
+        let shard = t.shards.(shard_index_of_resource (List.hd alternatives)) in
+        if
+          Shard.try_admit shard
+            { Shard.conn = conn.cid; tag; alternatives; deadline }
+        then begin
+          conn.inflight <- conn.inflight + 1;
+          Obs.Metrics.incr m "serve.admitted"
+        end
+        else reject conn ~tag Protocol.Overload "serve.rejected.overload"
+  in
+  (* A batch line: validate every entry, then push each shard's share
+     with one grouped [try_admit_many] — one lock acquisition per shard
+     touched instead of one per request.  Submission order is preserved
+     within each shard, so a batched run makes the same decisions as the
+     same requests submitted line by line. *)
+  let admit_batch conn reqs =
+    let nreqs = List.length reqs in
+    Obs.Metrics.incr ~by:nreqs m "serve.requests";
+    Obs.Metrics.incr m "serve.batches_in";
+    if Atomic.get t.draining then
+      List.iter
+        (fun (r : Protocol.request) ->
+           reject conn ~tag:r.tag Protocol.Draining "serve.rejected.draining")
+        reqs
+    else if nreqs > t.cfg.max_batch then
+      let detail =
+        Printf.sprintf "batch of %d exceeds server limit %d" nreqs
+          t.cfg.max_batch
       in
-      match alternatives with
-      | [] -> invalid "empty alternative list"
-      | first :: _ ->
-        (match
-           List.find_opt
-             (fun a -> a < 0 || a >= t.cfg.n_resources)
-             alternatives
-         with
-         | Some a ->
-           invalid
-             (Printf.sprintf "resource %d out of range (n=%d)" a
-                t.cfg.n_resources)
-         | None ->
-           if deadline < 1 || deadline > t.cfg.d then
-             invalid
-               (Printf.sprintf "deadline %d outside 1..%d" deadline t.cfg.d)
-           else begin
-             let shard = shard_of_resource first in
-             if
-               Shard.try_admit shard
-                 { Shard.conn = conn.cid; tag; alternatives; deadline }
-             then begin
-               conn.inflight <- conn.inflight + 1;
-               Obs.Metrics.incr m "serve.admitted"
-             end
-             else reject conn ~tag Protocol.Overload "serve.rejected.overload"
-           end)
+      List.iter
+        (fun (r : Protocol.request) ->
+           reject conn ~tag:r.tag (Protocol.Invalid detail)
+             "serve.rejected.invalid")
+        reqs
+    else begin
+      let groups = Array.make (Array.length t.shards) [] in
+      List.iter
+        (fun ({ Protocol.tag; alternatives; deadline } as req :
+                Protocol.request) ->
+           match check_valid req with
+           | Some detail ->
+             reject conn ~tag (Protocol.Invalid detail)
+               "serve.rejected.invalid"
+           | None ->
+             let i = shard_index_of_resource (List.hd alternatives) in
+             groups.(i) <-
+               { Shard.conn = conn.cid; tag; alternatives; deadline }
+               :: groups.(i))
+        reqs;
+      Array.iteri
+        (fun i group ->
+           match group with
+           | [] -> ()
+           | _ ->
+             let tasks = Array.of_list (List.rev group) in
+             let len = Array.length tasks in
+             let accepted =
+               Shard.try_admit_many t.shards.(i) tasks ~off:0 ~len
+             in
+             conn.inflight <- conn.inflight + accepted;
+             Obs.Metrics.incr ~by:accepted m "serve.admitted";
+             for k = accepted to len - 1 do
+               reject conn ~tag:tasks.(k).Shard.tag Protocol.Overload
+                 "serve.rejected.overload"
+             done)
+        groups
+    end
   in
   let protocol_error conn detail =
     Obs.Metrics.incr m "serve.protocol_errors";
@@ -197,6 +307,7 @@ let io_loop t =
       end
     | Ok _ when not conn.greeted -> protocol_error conn "expected hello first"
     | Ok (Protocol.Submit req) -> admit conn req
+    | Ok (Protocol.Batch reqs) -> admit_batch conn reqs
     | Ok Protocol.Tick ->
       (match t.cfg.tick with
        | `Manual ->
@@ -241,16 +352,24 @@ let io_loop t =
     end
     else if conn.closing && Buffer.length conn.outq = 0 then close_conn conn
   in
+  (* Merge-flush every shard's outbox into the connection buffers; the
+     reusable drain target means steady-state routing allocates only the
+     rendered lines. *)
+  let resp_buf : (int * Protocol.server_msg) array ref = ref [||] in
   let route_responses () =
-    List.iter
-      (fun (cid, msg) ->
-         match Hashtbl.find_opt conns cid with
-         | Some conn when not conn.closed ->
-           if Protocol.is_terminal msg then
-             conn.inflight <- max 0 (conn.inflight - 1);
-           queue_msg conn msg
-         | Some _ | None -> Obs.Metrics.incr m "serve.responses_dropped")
-      (Chan.drain t.outbox)
+    Array.iter
+      (fun outbox ->
+         let count = Chan.drain_into outbox resp_buf in
+         for i = 0 to count - 1 do
+           let cid, msg = !resp_buf.(i) in
+           match Hashtbl.find_opt conns cid with
+           | Some conn when not conn.closed ->
+             if Protocol.is_terminal msg then
+               conn.inflight <- max 0 (conn.inflight - 1);
+             queue_msg conn msg
+           | Some _ | None -> Obs.Metrics.incr m "serve.responses_dropped"
+         done)
+      t.outboxes
   in
   let send_ready_acks () =
     match !pending_acks with
@@ -287,8 +406,11 @@ let io_loop t =
         (Hashtbl.copy conns)
   in
   let all_shards_exited () = Array.for_all Shard.has_exited t.shards in
+  let outboxes_empty () =
+    Array.for_all (fun o -> Chan.length o = 0) t.outboxes
+  in
   (* main loop: run until every shard has drained and exited *)
-  while not (all_shards_exited () && Chan.length t.outbox = 0) do
+  while not (all_shards_exited () && outboxes_empty ()) do
     if Atomic.get t.draining && !listener_open then begin
       listener_open := false;
       (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
@@ -305,8 +427,16 @@ let io_loop t =
            else acc)
         conns []
     in
+    (* Adaptive pacing: while a tick ack is owed or replies are sitting
+       in an outbox, the next wake-up depends on shard progress — which
+       select cannot see — so poll tightly; otherwise sleep the full
+       interval and let readable fds wake us. *)
+    let timeout =
+      if !pending_acks <> [] || not (outboxes_empty ()) then 0.00005
+      else 0.005
+    in
     let rds, wrs =
-      match Unix.select reads writes [] 0.005 with
+      match Unix.select reads writes [] timeout with
       | rds, wrs, _ -> (rds, wrs)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [])
@@ -410,6 +540,8 @@ let start ?metrics cfg =
   if cfg.n_resources < 1 then Error "n_resources must be >= 1"
   else if cfg.d < 1 then Error "d must be >= 1"
   else if cfg.queue_capacity < 1 then Error "queue_capacity must be >= 1"
+  else if cfg.max_batch < 1 then Error "max_batch must be >= 1"
+  else if cfg.outbox_capacity < 1 then Error "outbox_capacity must be >= 1"
   else begin
     let metrics = Obs.Metrics.resolve metrics in
     let shards_n = max 1 (min cfg.shards cfg.n_resources) in
@@ -417,19 +549,19 @@ let start ?metrics cfg =
     (* the last slice may be short; recompute the real shard count *)
     let shards_n = (cfg.n_resources + stride - 1) / stride in
     match open_listener cfg.addr with
-    | exception Unix.Unix_error (e, _, arg) ->
-      Error
-        (Printf.sprintf "cannot listen on %s: %s (%s)"
-           (addr_to_string cfg.addr) (Unix.error_message e) arg)
-    | listen_fd ->
+    | Error _ as e -> e
+    | Ok listen_fd ->
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-      let outbox = Chan.create ~capacity:max_int in
+      let outboxes =
+        Array.init shards_n (fun _ ->
+            Chan.create ~capacity:cfg.outbox_capacity)
+      in
       let shards =
         Array.init shards_n (fun i ->
             Shard.create ~index:i ~lo:(i * stride)
               ~hi:(min cfg.n_resources ((i + 1) * stride))
               ~d:cfg.d ~queue_capacity:cfg.queue_capacity
-              ~strategy:(cfg.strategy ~shard:i) ~outbox)
+              ~strategy:(cfg.strategy ~shard:i) ~outbox:outboxes.(i))
       in
       let t =
         {
@@ -437,7 +569,7 @@ let start ?metrics cfg =
           listen_fd;
           shards;
           stride;
-          outbox;
+          outboxes;
           draining = Atomic.make false;
           tick_target = Atomic.make 0;
           metrics;

@@ -7,7 +7,12 @@
     slice of the resource space and a {!Sched.Engine.Live} engine they
     step on a round ticker.  Requests are routed to the shard owning
     their first alternative through a bounded inbox — a full inbox is an
-    immediate, explicit [overload] reject, never a silent drop.
+    immediate, explicit [overload] reject, never a silent drop.  A
+    [batch] wire line is admitted with one grouped inbox push per shard
+    touched, and replies flow back through per-shard outbox rings the
+    I/O domain merge-flushes every iteration; the reply path therefore
+    costs one lock acquisition per shard per direction per loop, not
+    one per message.
 
     Failure isolation: client-side failures (EPIPE, ECONNRESET, abrupt
     EOF with requests in flight, read timeouts) close that connection
@@ -41,6 +46,12 @@ type config = {
           [`Manual]: rounds advance on wire [tick] messages (logical
           time — what deterministic replay uses). *)
   queue_capacity : int;    (** per-shard inbox bound (admission control) *)
+  max_batch : int;         (** longest [batch] line accepted; longer
+                               batches are rejected as invalid *)
+  outbox_capacity : int;   (** per-shard reply ring bound; a full ring
+                               stalls the shard with backpressure
+                               ([serve.outbox_stalls]) — replies are
+                               never dropped *)
   read_timeout : float;    (** idle-connection cutoff in seconds;
                                [<= 0.] disables *)
   name : string;           (** server token in the [welcome] line *)
@@ -52,7 +63,10 @@ val start : ?metrics:Obs.Metrics.t -> config -> (t, string) result
 (** Bind, listen and spawn the shard and I/O domains; the listening
     socket is ready when this returns.  [metrics] (or the ambient
     registry) receives the final merged snapshot when the server
-    finishes. *)
+    finishes.  Errors are returned, not raised: an unresolvable host,
+    a config bound out of range, or a unix-socket path occupied by a
+    non-socket file (pre-existing sockets are reclaimed; anything else
+    is refused so it cannot be destroyed). *)
 
 val drain : t -> unit
 (** Begin graceful shutdown; idempotent, callable from a signal

@@ -26,10 +26,11 @@ type t = {
   lo : int;
   hi : int;
   inbox : task Chan.t;
-  outbox : (int * Protocol.server_msg) Chan.t;
+  outbox : (int * Protocol.server_msg) Chan.t; (* this shard's own ring *)
   metrics : Obs.Metrics.t;
   live : Live.t;
   tags : (int, int * int) Hashtbl.t; (* engine id -> (conn, tag) *)
+  drain_buf : task array ref;        (* reusable inbox drain target *)
   stepped : int Atomic.t;
   exited : bool Atomic.t;
 }
@@ -46,6 +47,7 @@ let create ~index ~lo ~hi ~d ~queue_capacity ~strategy ~outbox =
     metrics;
     live = Live.create ~metrics ~n:(hi - lo) ~d strategy;
     tags = Hashtbl.create 256;
+    drain_buf = ref [||];
     stepped = Atomic.make 0;
     exited = Atomic.make false;
   }
@@ -53,6 +55,7 @@ let create ~index ~lo ~hi ~d ~queue_capacity ~strategy ~outbox =
 let index t = t.index
 let owns t resource = resource >= t.lo && resource < t.hi
 let try_admit t task = Chan.try_push t.inbox task
+let try_admit_many t tasks ~off ~len = Chan.push_slice t.inbox tasks ~off ~len
 let stepped t = Atomic.get t.stepped
 let has_exited t = Atomic.get t.exited
 let queue_depth t = Chan.length t.inbox
@@ -61,37 +64,52 @@ let queue_depth t = Chan.length t.inbox
    shard has exited (counters stop moving). *)
 let metrics_snapshot t = Obs.Metrics.snapshot t.metrics
 
-let push_reply t conn msg = ignore (Chan.try_push t.outbox (conn, msg))
+(* A full outbox stalls the shard (counted) until the I/O domain drains
+   it — a reply is never dropped, because a lost terminal would strand
+   its client forever (the exactly-one-terminal contract).  The I/O
+   domain drains every outbox on each loop iteration, so the stall is
+   bounded by one select timeout. *)
+let push_reply t conn msg =
+  if not (Chan.try_push t.outbox (conn, msg)) then begin
+    let rec retry delay =
+      Obs.Metrics.incr t.metrics "serve.outbox_stalls";
+      (try Unix.sleepf delay with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      if not (Chan.try_push t.outbox (conn, msg)) then
+        retry (Float.min (delay *. 2.0) 0.002)
+    in
+    retry 0.00005
+  end
+
+(* Split a task's global alternatives into shard-local ids in one pass:
+   alternatives outside this shard's slice cannot be honoured, so they
+   are dropped (counted — never silent) and the request is scheduled on
+   the rest. *)
+let rec localize t acc dropped = function
+  | [] -> (List.rev acc, dropped)
+  | a :: rest ->
+    if owns t a then localize t ((a - t.lo) :: acc) dropped rest
+    else localize t acc (dropped + 1) rest
 
 let do_step t =
-  let tasks = Chan.drain t.inbox in
-  let depth = List.length tasks in
+  let depth = Chan.drain_into t.inbox t.drain_buf in
+  let tasks = !(t.drain_buf) in
   let t0 = Obs.Span.start () in
   Obs.Metrics.set t.metrics
     (Printf.sprintf "serve.shard%d.queue_depth" t.index)
     (float_of_int depth);
   Obs.Metrics.observe t.metrics "serve.queue_depth" (float_of_int depth);
-  List.iter
-    (fun task ->
-       (* alternatives outside this shard's slice cannot be honoured:
-          drop them (counted — never silent) and schedule on the rest *)
-       let local =
-         List.filter_map
-           (fun a -> if owns t a then Some (a - t.lo) else None)
-           task.alternatives
-       in
-       let dropped = List.length task.alternatives - List.length local in
-       if dropped > 0 then
-         Obs.Metrics.incr ~by:dropped t.metrics
-           "serve.truncated_alternatives";
-       match Live.submit t.live ~alternatives:local ~deadline:task.deadline with
-       | Ok id -> Hashtbl.replace t.tags id (task.conn, task.tag)
-       | Error m ->
-         Obs.Metrics.incr t.metrics "serve.rejected.invalid";
-         push_reply t task.conn
-           (Protocol.Rejected
-              { tag = task.tag; reason = Protocol.Invalid m }))
-    tasks;
+  for i = 0 to depth - 1 do
+    let task = tasks.(i) in
+    let local, dropped = localize t [] 0 task.alternatives in
+    if dropped > 0 then
+      Obs.Metrics.incr ~by:dropped t.metrics "serve.truncated_alternatives";
+    match Live.submit t.live ~alternatives:local ~deadline:task.deadline with
+    | Ok id -> Hashtbl.replace t.tags id (task.conn, task.tag)
+    | Error m ->
+      Obs.Metrics.incr t.metrics "serve.rejected.invalid";
+      push_reply t task.conn
+        (Protocol.Rejected { tag = task.tag; reason = Protocol.Invalid m })
+  done;
   let outcome = Live.step t.live in
   let reply id msg =
     match Hashtbl.find_opt t.tags id with
@@ -162,7 +180,9 @@ let run t ~tick ~draining =
                  loop ()
                end
                else begin
-                 (try Unix.sleepf 0.0002
+                 (* the wait-for-tick nap bounds round latency in manual
+                    mode: keep it well under the I/O loop's busy poll *)
+                 (try Unix.sleepf 0.00005
                   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
                  loop ()
                end

@@ -8,12 +8,18 @@
     ([serve.truncated_alternatives]) — a deliberate trade of choice
     richness for shared-nothing parallelism (see DESIGN.md §4.8).
 
+    Replies go to the shard's own outbox ring, drained by the I/O
+    domain.  A full outbox makes the shard stall and retry with
+    backpressure (counted as [serve.outbox_stalls]) — a terminal
+    response is never dropped, upholding the exactly-one-terminal
+    contract.
+
     Metrics live in a shard-private registry ([serve.served],
-    [serve.expired], [serve.rejected.invalid], [serve.queue_depth] and
-    [serve.tick_us] histograms, a [serve.shard<i>.queue_depth] gauge,
-    plus the engine's own [engine.*]); the server merges all shard
-    snapshots after the domains exit, which is exact by the registry
-    merge law. *)
+    [serve.expired], [serve.rejected.invalid], [serve.outbox_stalls],
+    [serve.queue_depth] and [serve.tick_us] histograms, a
+    [serve.shard<i>.queue_depth] gauge, plus the engine's own
+    [engine.*]); the server merges all shard snapshots after the
+    domains exit, which is exact by the registry merge law. *)
 
 type task = {
   conn : int;               (** connection id, for reply routing *)
@@ -45,6 +51,11 @@ val owns : t -> int -> bool
 val try_admit : t -> task -> bool
 (** Push onto the inbox; [false] when the queue is at capacity (the
     caller sends the explicit overload reject). *)
+
+val try_admit_many : t -> task array -> off:int -> len:int -> int
+(** Push [tasks.(off .. off+len-1)] onto the inbox in order under one
+    lock acquisition; returns how many were accepted (the prefix that
+    fit — the caller sends overload rejects for the suffix). *)
 
 val run : t -> tick:tick_source -> draining:bool Atomic.t -> unit
 (** The domain body: tick, drain inbox, step the engine, push replies.

@@ -42,6 +42,9 @@ let client_msg_gen =
       [
         map (fun client -> Protocol.Hello { client }) name_gen;
         map (fun r -> Protocol.Submit r) request_gen;
+        map
+          (fun rs -> Protocol.Batch rs)
+          (list_size (int_range 1 6) request_gen);
         return Protocol.Tick;
         return Protocol.Bye;
       ])
@@ -93,6 +96,8 @@ let test_protocol_rejects () =
     [
       ""; "nope"; "hello"; "hello rsp/1"; "hello rsp/9 x"; "req";
       "req x 0 1"; "req 0 0,0 1"; "req -1 0 1"; "req 0 0 0"; "req 0  1";
+      "batch"; "batch "; "batch ;"; "batch 0 0 1;"; "batch 0 0 1;x 1 2";
+      "batch -1 0 1"; "batch 0 0 1;;1 1 1";
     ]
   in
   List.iter
@@ -195,7 +200,7 @@ let fresh_sock_path =
 (* Start a server, run [f], then drain and return (f's result, final
    metrics snapshot). *)
 let with_server ?(shards = 2) ?(n = 8) ?(d = 4) ?(queue_capacity = 1024)
-    ?(tick = `Manual) f =
+    ?(max_batch = 512) ?(outbox_capacity = 4096) ?(tick = `Manual) f =
   let path = fresh_sock_path () in
   let cfg =
     {
@@ -206,6 +211,8 @@ let with_server ?(shards = 2) ?(n = 8) ?(d = 4) ?(queue_capacity = 1024)
       strategy = (fun ~shard:_ -> Strategies.Global.balance ());
       tick;
       queue_capacity;
+      max_batch;
+      outbox_capacity;
       read_timeout = 10.0;
       name = "test";
     }
@@ -427,6 +434,139 @@ let test_e2e_draining_rejects_new_submissions () =
   check Alcotest.bool "draining reject counted" true
     (counter snap "serve.rejected.draining" >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* batching, outbox backpressure, and listener/resolver failure modes *)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_e2e_batched_replay_identical () =
+  (* the batch frame is pure wire-level chunking: for every batch size
+     the decision log must be byte-identical to per-line submission *)
+  let inst = random_instance ~n:8 ~d:4 ~rounds:25 ~load:2.0 ~seed:41 in
+  let run batch =
+    let r, snap =
+      with_server ~shards:2 ~n:8 ~d:4 (fun addr _ ->
+          match Client.open_loop ~addr ~inst ~tick:`Manual ~batch () with
+          | Error m -> Alcotest.failf "open_loop batch=%d: %s" batch m
+          | Ok r -> r)
+    in
+    (Client.render_decisions r, counter snap "serve.batches_in")
+  in
+  let baseline, frames1 = run 1 in
+  check Alcotest.bool "log is non-trivial" true (String.length baseline > 0);
+  check Alcotest.int "batch=1 stays on the per-line frame" 0 frames1;
+  List.iter
+    (fun batch ->
+       let log, frames = run batch in
+       check Alcotest.string
+         (Printf.sprintf "batch=%d decisions byte-identical" batch)
+         baseline log;
+       check Alcotest.bool
+         (Printf.sprintf "batch=%d actually sent batch frames" batch)
+         true (frames > 0))
+    [ 3; 64 ]
+
+let test_e2e_outbox_overflow_no_reply_dropped () =
+  (* a capacity-1 outbox forces the shards to stall on nearly every
+     reply; the stall must be counted and every tag must still get its
+     terminal — the silent-drop bug this PR fixes *)
+  let inst = random_instance ~n:8 ~d:4 ~rounds:20 ~load:3.0 ~seed:17 in
+  let r, snap =
+    with_server ~shards:2 ~n:8 ~d:4 ~outbox_capacity:1 (fun addr _ ->
+        run_open addr inst)
+  in
+  check Alcotest.int "every tag still gets exactly one terminal"
+    r.Client.submitted
+    (Array.length r.Client.decisions);
+  check Alcotest.int "terminals partition the submissions" r.Client.submitted
+    (r.Client.scheduled + r.Client.rejected + r.Client.expired);
+  check Alcotest.bool "the capacity-1 outbox actually stalled" true
+    (counter snap "serve.outbox_stalls" > 0);
+  check Alcotest.int "no dropped responses" 0
+    (counter snap "serve.responses_dropped")
+
+let test_e2e_oversize_batch_rejected () =
+  (* a batch over the server's limit is rejected whole — one terminal
+     per entry, nothing admitted, nothing dropped *)
+  let (), snap =
+    with_server ~shards:2 ~n:8 ~d:4 ~max_batch:2 (fun addr _ ->
+        match Client.connect addr ~client:"big" with
+        | Error m -> Alcotest.failf "connect: %s" m
+        | Ok conn ->
+          let reqs =
+            List.init 3 (fun tag ->
+                { Protocol.tag; alternatives = [ tag ]; deadline = 2 })
+          in
+          (match Client.send conn (Protocol.Batch reqs) with
+           | Ok () -> ()
+           | Error m -> Alcotest.failf "send: %s" m);
+          let seen = ref 0 in
+          while !seen < 3 do
+            match Client.recv ~timeout:5.0 conn with
+            | Ok (Protocol.Rejected { reason = Protocol.Invalid _; _ }) ->
+              incr seen
+            | Ok msg ->
+              Alcotest.failf "expected invalid reject, got %S"
+                (Protocol.render_server msg)
+            | Error m -> Alcotest.failf "recv: %s" m
+          done;
+          Client.close conn)
+  in
+  check Alcotest.int "nothing reached a shard" 0 (counter snap "serve.served")
+
+let base_cfg addr =
+  {
+    Server.addr;
+    n_resources = 8;
+    d = 4;
+    shards = 2;
+    strategy = (fun ~shard:_ -> Strategies.Global.balance ());
+    tick = `Manual;
+    queue_capacity = 64;
+    max_batch = 512;
+    outbox_capacity = 64;
+    read_timeout = 10.0;
+    name = "test";
+  }
+
+let test_start_bad_hostname () =
+  (* an unresolvable host must come back as a clean [Error], not an
+     uncaught [Not_found] out of gethostbyname *)
+  match Server.start (base_cfg (Server.Tcp ("no-such-host.invalid", 1))) with
+  | Error m ->
+    check Alcotest.bool "error names the host" true
+      (contains_sub ~sub:"no-such-host.invalid" m)
+  | Ok srv ->
+    Server.drain srv;
+    ignore (Server.wait srv);
+    Alcotest.fail "start succeeded on an unresolvable host"
+
+let test_start_refuses_non_socket_path () =
+  (* a regular file at the unix-socket path is someone else's data: the
+     server must refuse to start and leave the file untouched *)
+  let path = Filename.temp_file "reqsched_notsock" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       let oc = open_out path in
+       output_string oc "precious\n";
+       close_out oc;
+       (match Server.start (base_cfg (Server.Unix_sock path)) with
+        | Error m ->
+          check Alcotest.bool "error says why" true
+            (contains_sub ~sub:"not a socket" m)
+        | Ok srv ->
+          Server.drain srv;
+          ignore (Server.wait srv);
+          Alcotest.fail "server started over a regular file");
+       let ic = open_in path in
+       let line = input_line ic in
+       close_in ic;
+       check Alcotest.string "file contents preserved" "precious" line)
+
 let () =
   Alcotest.run "serve"
     [
@@ -462,5 +602,18 @@ let () =
             test_e2e_client_failure_isolated;
           Alcotest.test_case "draining rejects" `Quick
             test_e2e_draining_rejects_new_submissions;
+          Alcotest.test_case "batched replay byte-identical" `Quick
+            test_e2e_batched_replay_identical;
+          Alcotest.test_case "outbox overflow drops no reply" `Quick
+            test_e2e_outbox_overflow_no_reply_dropped;
+          Alcotest.test_case "oversize batch rejected whole" `Quick
+            test_e2e_oversize_batch_rejected;
+        ] );
+      ( "start",
+        [
+          Alcotest.test_case "bad hostname is a clean error" `Quick
+            test_start_bad_hostname;
+          Alcotest.test_case "refuses non-socket path" `Quick
+            test_start_refuses_non_socket_path;
         ] );
     ]

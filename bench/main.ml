@@ -641,6 +641,96 @@ let run_jobs ~quick =
      && warm_st.Report.Jobs.cache_hits = warm_st.Report.Jobs.total);
   print_newline ()
 
+(* The zoo scoring path: one streaming pass (live engine + SLO
+   accumulator + prefix optimum) versus the batch recompute from the
+   recorded outcome, on every workload family.  The equality check is
+   the bench-side differential for Analysis.Slo; the per-family scores
+   land in the --json records so a committed baseline can watch the
+   workloads themselves drift. *)
+let run_zoo ~quick =
+  let n, d, rounds = Report.Zoo.tier ~quick in
+  let seed = Report.Zoo.seed in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, 1e3 *. (Unix.gettimeofday () -. t0))
+  in
+  let feq a b = (Float.is_nan a && Float.is_nan b) || a = b in
+  let scores_equal (a : Analysis.Slo.scores) (b : Analysis.Slo.scores) =
+    a.submitted = b.submitted && a.served = b.served && a.expired = b.expired
+    && a.rounds = b.rounds
+    && feq a.violation_rate b.violation_rate
+    && feq a.throughput b.throughput
+    && feq a.antt b.antt
+    && feq a.max_delay_factor b.max_delay_factor
+    && a.machines_needed = b.machines_needed
+  in
+  let factory () =
+    match Report.Registry.factory_of_name ~seed "balance" with
+    | Ok f -> f
+    | Error m -> failwith m
+  in
+  let table =
+    Prelude.Texttable.create
+      ~title:
+        (Printf.sprintf
+           "B.zoo  --  SLO scoring: one streaming pass vs batch recompute \
+            (balance, n=%d d=%d rounds=%d)"
+           n d rounds)
+      ~header:
+        [
+          "workload"; "requests"; "stream ms"; "batch ms"; "viol%";
+          "thr/round"; "antt"; "maxDF"; "m>="; "equal";
+        ]
+      ()
+  in
+  let all_equal = ref true in
+  List.iter
+    (fun (f : Workload.Zoo.family) ->
+       let inst =
+         f.generate ~n ~d ~rounds ~load:f.default_load ~seed
+       in
+       let streamed, stream_ms =
+         time (fun () -> Analysis.Slo.score_stream inst (factory ()))
+       in
+       let batch, batch_ms =
+         time (fun () ->
+             Analysis.Slo.of_outcome (Sched.Engine.run inst (factory ())))
+       in
+       let s = streamed.Analysis.Slo.scores in
+       let equal = scores_equal s batch in
+       if not equal then all_equal := false;
+       let params =
+         [
+           ("workload", f.key); ("n", string_of_int n);
+           ("d", string_of_int d); ("rounds", string_of_int rounds);
+         ]
+       in
+       record ~family:"B.zoo" ~params ~metric:"stream_ms" stream_ms;
+       record ~family:"B.zoo" ~params ~metric:"violation_rate"
+         s.violation_rate;
+       record ~family:"B.zoo" ~params ~metric:"throughput" s.throughput;
+       record ~family:"B.zoo" ~params ~metric:"anytime_ratio"
+         streamed.anytime_ratio;
+       Prelude.Texttable.add_row table
+         [
+           f.key;
+           string_of_int (Sched.Instance.n_requests inst);
+           Printf.sprintf "%.2f" stream_ms;
+           Printf.sprintf "%.2f" batch_ms;
+           Printf.sprintf "%.1f%%" (100.0 *. s.violation_rate);
+           Printf.sprintf "%.2f" s.throughput;
+           (if Float.is_nan s.antt then "-" else Printf.sprintf "%.3f" s.antt);
+           (if Float.is_nan s.max_delay_factor then "-"
+            else Printf.sprintf "%.3f" s.max_delay_factor);
+           string_of_int s.machines_needed;
+           string_of_bool equal;
+         ])
+    Workload.Zoo.families;
+  Prelude.Texttable.print table;
+  check "streaming slo == batch recompute on every zoo family" !all_equal;
+  print_newline ()
+
 let run_micro () =
   let tests = Test.make_grouped ~name:"reqsched" (micro_tests ()) in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
@@ -725,8 +815,10 @@ let () =
   bench_family "B.stream" (fun () -> run_stream ~quick);
   bench_family "B.jobs" (fun () -> run_jobs ~quick);
   bench_family "B.serve" (fun () -> run_serve ~quick);
+  bench_family "B.zoo" (fun () -> run_zoo ~quick);
   let catalog =
-    List.filter (fun (id, _) -> selected id) Report.Experiments.catalog
+    List.filter (fun (id, _) -> selected id)
+      (Report.Experiments.catalog @ Report.Zoo.catalog)
   in
   let ctx =
     Report.Jobs.create ?domains:(int_flag "--jobs")

@@ -42,10 +42,29 @@ let strategy_arg =
 
 let workload_arg =
   let doc =
-    "Workload: uniform, zipf, bursty, or a theorem adversary (thm21, thm22, \
-     thm23, thm24, thm25, thm37)."
+    "Workload: uniform, zipf, bursty, a theorem adversary (thm21, thm22, \
+     thm23, thm24, thm25, thm37), or a zoo family (hotspot, diurnal, vod, \
+     overload, mix)."
   in
   Arg.(value & opt string "uniform" & info [ "w"; "workload" ] ~docv:"W" ~doc)
+
+let score_arg =
+  let doc =
+    Printf.sprintf
+      "Also score on an SLO objective: %s.  $(b,slo) reports the whole \
+       block (deadline-violation rate, sustained throughput, ANTT, max \
+       delay factor, machines-needed lower bound)."
+      (String.concat ", " Analysis.Slo.selector_names)
+  in
+  Arg.(value & opt (some string) None & info [ "score" ] ~docv:"MODE" ~doc)
+
+let with_score score k =
+  match score with
+  | None -> k None
+  | Some name ->
+    (match Analysis.Slo.selector_of_name name with
+     | Error m -> `Error (false, m)
+     | Ok s -> k (Some s))
 
 let solver_arg =
   let doc =
@@ -166,9 +185,10 @@ let print_outcome_summary (r : Report.Harness.run) =
 
 let run_cmd =
   let action strategy solver workload n d rounds load seed audit csv phases
-      mfmt mout =
+      score mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
     with_solver solver @@ fun solver ->
+    with_score score @@ fun score ->
     match factory_of_name ~seed ?metrics ~solver strategy with
     | Error m -> `Error (false, m)
     | Ok factory ->
@@ -177,6 +197,19 @@ let run_cmd =
        | Ok inst ->
          let r = Report.Harness.run_instance ?metrics inst factory in
          print_outcome_summary r;
+         (match score with
+          | None -> ()
+          | Some sel ->
+            let s = Analysis.Slo.of_outcome r.outcome in
+            Option.iter (fun m -> Analysis.Slo.record m s) metrics;
+            (match sel with
+             | Analysis.Slo.All ->
+               Printf.printf "%s\n"
+                 (Format.asprintf "%a" Analysis.Slo.pp_scores s)
+             | Analysis.Slo.One mode ->
+               Printf.printf "score    : %s = %s\n"
+                 (Analysis.Slo.mode_label mode)
+                 (Analysis.Slo.mode_cell mode ~ratio:r.ratio s)));
          if audit then begin
            let a = Analysis.Audit.of_outcome r.outcome in
            Printf.printf "audit    : %s\n"
@@ -223,7 +256,8 @@ let run_cmd =
   let term =
     Term.(ret (const action $ strategy_arg $ solver_arg $ workload_arg
                $ n_arg $ d_arg $ rounds_arg $ load_arg $ seed_arg $ audit_arg
-               $ csv_arg $ phases_arg $ metrics_fmt_arg $ metrics_out_arg))
+               $ csv_arg $ phases_arg $ score_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one strategy on a workload.")
@@ -233,9 +267,10 @@ let run_cmd =
 (* compare *)
 
 let compare_cmd =
-  let action workload solver n d rounds load seed mfmt mout =
+  let action workload solver n d rounds load seed score mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
     with_solver solver @@ fun solver ->
+    with_score score @@ fun score ->
     match instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed with
     | Error m -> `Error (false, m)
     | Ok inst ->
@@ -244,13 +279,28 @@ let compare_cmd =
         | Some m -> Offline.Opt_stream.value ~metrics:m inst
         | None -> Offline.Opt.value inst
       in
+      (* --score slo appends the full block, one objective just its
+         column; ratio already has a column, so All skips it *)
+      let score_modes =
+        match score with
+        | None -> []
+        | Some (Analysis.Slo.One mode) -> [ mode ]
+        | Some Analysis.Slo.All ->
+          [
+            Analysis.Slo.Violation; Analysis.Slo.Throughput; Analysis.Slo.Antt;
+            Analysis.Slo.Delay; Analysis.Slo.Machines;
+          ]
+      in
       let table =
         Prelude.Texttable.create
           ~title:
             (Printf.sprintf "workload %s: %s; optimum %d" workload
                (Format.asprintf "%a" Sched.Instance.pp_summary inst)
                opt)
-          ~header:[ "strategy"; "served"; "wasted"; "ratio" ] ()
+          ~header:
+            ([ "strategy"; "served"; "wasted"; "ratio" ]
+             @ List.map Analysis.Slo.mode_label score_modes)
+          ()
       in
       List.iter
         (fun name ->
@@ -258,22 +308,32 @@ let compare_cmd =
            | Error _ -> ()
            | Ok factory ->
              let o = Sched.Engine.run ?metrics inst factory in
+             let ratio = Report.Harness.ratio_of ~opt ~served:o.served in
+             let score_cells =
+               match score_modes with
+               | [] -> []
+               | modes ->
+                 let s = Analysis.Slo.of_outcome o in
+                 List.map
+                   (fun mode -> Analysis.Slo.mode_cell mode ~ratio s)
+                   modes
+             in
              Prelude.Texttable.add_row table
-               [
-                 name;
-                 string_of_int o.served;
-                 string_of_int o.wasted;
-                 Prelude.Texttable.cell_ratio
-                   (Report.Harness.ratio_of ~opt ~served:o.served);
-               ])
+               ([
+                  name;
+                  string_of_int o.served;
+                  string_of_int o.wasted;
+                  Prelude.Texttable.cell_ratio ratio;
+                ]
+                @ score_cells))
         strategy_names;
       Prelude.Texttable.print table;
       `Ok ()
   in
   let term =
     Term.(ret (const action $ workload_arg $ solver_arg $ n_arg $ d_arg
-               $ rounds_arg $ load_arg $ seed_arg $ metrics_fmt_arg
-               $ metrics_out_arg))
+               $ rounds_arg $ load_arg $ seed_arg $ score_arg
+               $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every strategy on one workload.")
@@ -289,20 +349,21 @@ let exp_cmd =
        everything else (Engine.run, Net.create, the streaming optimum)
        still picks the registry up ambiently *)
     let ctx = runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () in
+    let catalog = Report.Experiments.catalog @ Report.Zoo.catalog in
     let matches =
-      if id = "all" then Report.Experiments.catalog
+      if id = "all" then catalog
       else
         List.filter
           (fun (eid, _) ->
              String.length eid >= String.length id
              && String.sub eid 0 (String.length id) = id)
-          Report.Experiments.catalog
+          catalog
     in
     if matches = [] then
       `Error
         ( false,
           Printf.sprintf "no experiment matches %S; known ids: %s" id
-            (String.concat ", " (List.map fst Report.Experiments.catalog)) )
+            (String.concat ", " (List.map fst catalog)) )
     else begin
       let failures = ref 0 in
       List.iter
@@ -367,9 +428,24 @@ let table1_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let action workload n d rounds seed jobs cache_dir resume retries mfmt mout
-      =
+  let action workload n d rounds seed score jobs cache_dir resume retries
+      mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
+    with_score score @@ fun score ->
+    (* a sweep cell is one table entry: pick a single objective *)
+    let mode =
+      match score with
+      | None | Some (Analysis.Slo.One Analysis.Slo.Ratio) -> Analysis.Slo.Ratio
+      | Some (Analysis.Slo.One m) -> m
+      | Some Analysis.Slo.All -> Analysis.Slo.Ratio
+    in
+    match score with
+    | Some Analysis.Slo.All ->
+      `Error
+        ( false,
+          "--score slo does not fit a sweep cell; pick one objective \
+           (ratio, violation, throughput, antt, delay, machines)" )
+    | _ ->
     let ctx = runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () in
     let loads = [ 0.5; 0.7; 0.9; 1.0; 1.1; 1.3; 1.5; 2.0 ] in
     let strategies =
@@ -419,7 +495,21 @@ let sweep_cmd =
                        | Error m -> failwith m
                        | Ok factory ->
                          let o = Sched.Engine.run ?metrics inst factory in
-                         Report.Jobs.Int o.Sched.Outcome.served))
+                         (* the cached value is the whole score record,
+                            so any --score mode reads the same cache *)
+                         let s = Analysis.Slo.of_outcome o in
+                         Report.Jobs.List
+                           [
+                             Report.Jobs.Int s.Analysis.Slo.submitted;
+                             Report.Jobs.Int s.served;
+                             Report.Jobs.Int s.expired;
+                             Report.Jobs.Int s.rounds;
+                             Report.Jobs.Float s.violation_rate;
+                             Report.Jobs.Float s.throughput;
+                             Report.Jobs.Float s.antt;
+                             Report.Jobs.Float s.max_delay_factor;
+                             Report.Jobs.Int s.machines_needed;
+                           ]))
                strategies)
           insts
       in
@@ -428,11 +518,28 @@ let sweep_cmd =
         Prelude.Texttable.create
           ~title:
             (Printf.sprintf
-               "competitive ratio vs load (workload %s, n=%d, d=%d, %d \
-                rounds)"
+               "%s vs load (workload %s, n=%d, d=%d, %d rounds)"
+               (match mode with
+                | Analysis.Slo.Ratio -> "competitive ratio"
+                | m -> "SLO score " ^ Analysis.Slo.mode_label m)
                workload n d rounds)
           ~header:("load" :: "optimum" :: strategies)
           ()
+      in
+      let scores_of_cell o =
+        let iv i = Report.Jobs.int_value (Report.Jobs.nth o i) in
+        let fv i = Report.Jobs.float_value (Report.Jobs.nth o i) in
+        {
+          Analysis.Slo.submitted = iv 0;
+          served = iv 1;
+          expired = iv 2;
+          rounds = iv 3;
+          violation_rate = fv 4;
+          throughput = fv 5;
+          antt = fv 6;
+          max_delay_factor = fv 7;
+          machines_needed = iv 8;
+        }
       in
       let per_load = 1 + List.length strategies in
       List.iteri
@@ -443,11 +550,16 @@ let sweep_cmd =
              let cells =
                List.map
                  (fun o ->
-                    Report.Jobs.cell o (function
-                      | Report.Jobs.Int served ->
-                        Prelude.Texttable.cell_ratio
-                          (Report.Harness.ratio_of ~opt ~served)
-                      | _ -> "?"))
+                    Report.Jobs.cell o (fun _ ->
+                        let s = scores_of_cell o in
+                        let ratio =
+                          Report.Harness.ratio_of ~opt
+                            ~served:s.Analysis.Slo.served
+                        in
+                        match mode with
+                        | Analysis.Slo.Ratio ->
+                          Prelude.Texttable.cell_ratio ratio
+                        | m -> Analysis.Slo.mode_cell m ~ratio s))
                  cell_os
              in
              Prelude.Texttable.add_row table
@@ -465,12 +577,47 @@ let sweep_cmd =
   in
   let term =
     Term.(ret (const action $ workload_arg $ n_arg $ d_arg $ rounds_arg
-               $ seed_arg $ jobs_arg $ cache_dir_arg $ resume_arg
+               $ seed_arg $ score_arg $ jobs_arg $ cache_dir_arg $ resume_arg
                $ retries_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Competitive ratio of representative strategies across loads.")
+       ~doc:
+         "Competitive ratio (or any --score objective) of representative \
+          strategies across loads.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* zoo *)
+
+let zoo_cmd =
+  let action quick jobs cache_dir resume retries mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
+    let ctx = runner_ctx ?metrics ~jobs ~cache_dir ~resume ~retries () in
+    let e = Report.Zoo.summary ~ctx ~quick in
+    print_string (Report.Experiments.render e);
+    finish_runner ctx;
+    let failed =
+      List.length (List.filter (fun (_, ok) -> not ok) e.Report.Experiments.checks)
+    in
+    if failed = 0 then `Ok ()
+    else `Error (false, Printf.sprintf "%d failed zoo checks" failed)
+  in
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Small parameters (the golden-snapshot tier).")
+  in
+  let term =
+    Term.(ret (const action $ quick_arg $ jobs_arg $ cache_dir_arg
+               $ resume_arg $ retries_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
+  in
+  Cmd.v
+    (Cmd.info "zoo"
+       ~doc:
+         "Score every strategy on the workload zoo (hotspot, diurnal, vod, \
+          overload, mix) with SLO objectives and anytime ratio.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1110,5 +1257,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; exp_cmd; table1_cmd; trace_cmd; sweep_cmd;
-            search_cmd; serve_cmd; load_cmd;
+            zoo_cmd; search_cmd; serve_cmd; load_cmd;
           ]))

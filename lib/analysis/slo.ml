@@ -1,0 +1,357 @@
+(* SLO scoring.  Everything here is exact until the final division:
+   turnaround is an integer sum, the delay-factor maximum is an exact
+   fraction compared by cross-multiplication, machines-needed is pure
+   integer arithmetic.  That is what lets the differential suite pin
+   streaming == batch to the last bit without tolerance fudge. *)
+
+type scores = {
+  submitted : int;
+  served : int;
+  expired : int;
+  rounds : int;
+  violation_rate : float;
+  throughput : float;
+  antt : float;
+  max_delay_factor : float;
+  machines_needed : int;
+}
+
+(* -- exact fraction maximum ------------------------------------------ *)
+
+(* (0, 0) = empty; dens are always > 0 afterwards *)
+type frac_max = { mutable num : int; mutable den : int }
+
+let frac_empty () = { num = 0; den = 0 }
+
+let frac_update f ~num ~den =
+  if f.den = 0 || num * f.den > f.num * den then begin
+    f.num <- num;
+    f.den <- den
+  end
+
+let frac_value f = if f.den = 0 then Float.nan else float_of_int f.num /. float_of_int f.den
+
+(* -- machines-needed interval bound ----------------------------------
+   Kao et al.'s lower bound: max over [t1, t2] of
+   ceil (N(t1,t2) / (t2 - t1 + 1)) with N counting requests whose whole
+   window [arrival .. last_round] fits inside the interval.  Streamed:
+   when round r completes, every window with last_round = r has just
+   closed; only intervals ending at r gained members, so one backward
+   scan accumulating closed windows by arrival updates the maximum.
+   O(horizon^2) total, O(horizon) state. *)
+
+type machines = {
+  mutable by_arrival : int array;  (* arrival -> closed windows, grown 2x *)
+  mutable hi_arrival : int;        (* 1 + largest arrival recorded *)
+  close_at : (int, int list ref) Hashtbl.t;  (* last_round -> arrivals *)
+  mutable best : int;
+}
+
+let machines_create () =
+  { by_arrival = Array.make 16 0; hi_arrival = 0;
+    close_at = Hashtbl.create 64; best = 0 }
+
+let machines_add m ~arrival ~last_round =
+  (match Hashtbl.find_opt m.close_at last_round with
+   | Some l -> l := arrival :: !l
+   | None -> Hashtbl.add m.close_at last_round (ref [ arrival ]))
+
+let machines_round_done m ~round =
+  (match Hashtbl.find_opt m.close_at round with
+   | None -> ()
+   | Some l ->
+       Hashtbl.remove m.close_at round;
+       List.iter
+         (fun arrival ->
+           if arrival >= Array.length m.by_arrival then begin
+             let grown =
+               Array.make (max (2 * Array.length m.by_arrival) (arrival + 1)) 0
+             in
+             Array.blit m.by_arrival 0 grown 0 (Array.length m.by_arrival);
+             m.by_arrival <- grown
+           end;
+           m.by_arrival.(arrival) <- m.by_arrival.(arrival) + 1;
+           if arrival >= m.hi_arrival then m.hi_arrival <- arrival + 1)
+         !l);
+  (* intervals ending at [round]: walk t1 downward, accumulate *)
+  let acc = ref 0 in
+  for t1 = min round (m.hi_arrival - 1) downto 0 do
+    acc := !acc + m.by_arrival.(t1);
+    let len = round - t1 + 1 in
+    let need = (!acc + len - 1) / len in
+    if need > m.best then m.best <- need
+  done
+
+(* -- streaming accumulator ------------------------------------------- *)
+
+type pending = { arrival : int; deadline : int }
+
+type t = {
+  live : (int, pending) Hashtbl.t;  (* admitted, no terminal outcome *)
+  seen : (int, unit) Hashtbl.t;     (* every id ever admitted *)
+  mutable submitted : int;
+  mutable served : int;
+  mutable expired : int;
+  mutable rounds : int;
+  mutable turnaround_sum : int;     (* served requests only *)
+  delay : frac_max;
+  machines : machines;
+}
+
+let create () =
+  {
+    live = Hashtbl.create 64;
+    seen = Hashtbl.create 64;
+    submitted = 0;
+    served = 0;
+    expired = 0;
+    rounds = 0;
+    turnaround_sum = 0;
+    delay = frac_empty ();
+    machines = machines_create ();
+  }
+
+let on_submit t ~id ~round ~deadline =
+  if deadline < 1 then invalid_arg "Slo.on_submit: deadline < 1";
+  if Hashtbl.mem t.seen id then invalid_arg "Slo.on_submit: duplicate id";
+  Hashtbl.add t.seen id ();
+  Hashtbl.add t.live id { arrival = round; deadline };
+  t.submitted <- t.submitted + 1;
+  machines_add t.machines ~arrival:round ~last_round:(round + deadline - 1)
+
+let take_pending t ~id ~what =
+  match Hashtbl.find_opt t.live id with
+  | Some p ->
+      Hashtbl.remove t.live id;
+      p
+  | None -> invalid_arg ("Slo." ^ what ^ ": unknown or terminal id")
+
+let on_serve t ~id ~round =
+  let p = take_pending t ~id ~what:"on_serve" in
+  t.served <- t.served + 1;
+  let turnaround = round - p.arrival + 1 in
+  t.turnaround_sum <- t.turnaround_sum + turnaround;
+  frac_update t.delay ~num:turnaround ~den:p.deadline
+
+let on_expire t ~id ~round:_ =
+  let p = take_pending t ~id ~what:"on_expire" in
+  t.expired <- t.expired + 1;
+  (* hard-drop adaptation of the delay factor: one full window elapsed
+     and the request still died, so charge (D + 1) / D > 1 *)
+  frac_update t.delay ~num:(p.deadline + 1) ~den:p.deadline
+
+let on_round t =
+  machines_round_done t.machines ~round:t.rounds;
+  t.rounds <- t.rounds + 1
+
+let scores_of ~submitted ~served ~expired ~rounds ~turnaround_sum ~delay
+    ~machines_needed =
+  {
+    submitted;
+    served;
+    expired;
+    rounds;
+    violation_rate =
+      (if submitted = 0 then 0.0
+       else float_of_int expired /. float_of_int submitted);
+    throughput =
+      (if rounds = 0 then 0.0 else float_of_int served /. float_of_int rounds);
+    antt =
+      (if served = 0 then Float.nan
+       else float_of_int turnaround_sum /. float_of_int served);
+    max_delay_factor = frac_value delay;
+    machines_needed;
+  }
+
+let scores t =
+  scores_of ~submitted:t.submitted ~served:t.served ~expired:t.expired
+    ~rounds:t.rounds ~turnaround_sum:t.turnaround_sum ~delay:t.delay
+    ~machines_needed:t.machines.best
+
+(* -- batch oracle ------------------------------------------------------
+   Recomputed with direct loops over the outcome log — deliberately no
+   shared code with the accumulator above, so the differential test is
+   a real cross-check. *)
+
+let machines_of_instance (inst : Sched.Instance.t) =
+  let h = inst.horizon in
+  if h = 0 then 0
+  else begin
+    let closing = Array.make h [] in
+    Array.iter
+      (fun (r : Sched.Request.t) ->
+        let last = Sched.Request.last_round r in
+        closing.(last) <- r.arrival :: closing.(last))
+      inst.requests;
+    let by_arrival = Array.make h 0 in
+    let best = ref 0 in
+    for t2 = 0 to h - 1 do
+      List.iter
+        (fun a -> by_arrival.(a) <- by_arrival.(a) + 1)
+        closing.(t2);
+      let acc = ref 0 in
+      for t1 = t2 downto 0 do
+        acc := !acc + by_arrival.(t1);
+        let len = t2 - t1 + 1 in
+        let need = (!acc + len - 1) / len in
+        if need > !best then best := need
+      done
+    done;
+    !best
+  end
+
+let of_outcome (o : Sched.Outcome.t) =
+  let inst = o.instance in
+  let submitted = Sched.Instance.n_requests inst in
+  let served = ref 0 and expired = ref 0 in
+  let turnaround_sum = ref 0 in
+  let delay = frac_empty () in
+  Array.iteri
+    (fun id slot ->
+      let r = inst.requests.(id) in
+      match slot with
+      | Some (_resource, round) ->
+          incr served;
+          let turnaround = round - r.arrival + 1 in
+          turnaround_sum := !turnaround_sum + turnaround;
+          frac_update delay ~num:turnaround ~den:r.deadline
+      | None ->
+          incr expired;
+          frac_update delay ~num:(r.deadline + 1) ~den:r.deadline)
+    o.served_at;
+  scores_of ~submitted ~served:!served ~expired:!expired ~rounds:inst.horizon
+    ~turnaround_sum:!turnaround_sum ~delay
+    ~machines_needed:(machines_of_instance inst)
+
+(* -- one-pass scored run ---------------------------------------------- *)
+
+type streamed = {
+  scores : scores;
+  opt : int;
+  final_ratio : float;
+  anytime_ratio : float;
+}
+
+(* same guard as Report.Harness.ratio_of; duplicated (not referenced)
+   because report depends on analysis, not the other way around *)
+let ratio_of ~opt ~served =
+  if served > 0 then float_of_int opt /. float_of_int served
+  else if opt = 0 then 1.0
+  else Float.infinity
+
+let score_stream ?metrics (inst : Sched.Instance.t) factory =
+  let engine =
+    Sched.Engine.Live.create ?metrics ~n:inst.n_resources ~d:inst.d factory
+  in
+  let tracker =
+    Offline.Opt_stream.create ?metrics ~n_resources:inst.n_resources ()
+  in
+  let acc = create () in
+  let worst = ref 1.0 in
+  let served_so_far = ref 0 in
+  for round = 0 to inst.horizon - 1 do
+    let arrivals = Sched.Instance.arrivals_at inst round in
+    Array.iter
+      (fun (r : Sched.Request.t) ->
+        match
+          Sched.Engine.Live.submit engine
+            ~alternatives:(Array.to_list r.alternatives) ~deadline:r.deadline
+        with
+        | Ok id -> on_submit acc ~id ~round ~deadline:r.deadline
+        | Error m -> invalid_arg ("Slo.score_stream: rejected submit: " ^ m))
+      arrivals;
+    let opt_prefix = Offline.Opt_stream.feed tracker arrivals in
+    let out = Sched.Engine.Live.step engine in
+    List.iter (fun (id, _resource) -> on_serve acc ~id ~round) out.served;
+    List.iter (fun id -> on_expire acc ~id ~round) out.expired;
+    on_round acc;
+    served_so_far := !served_so_far + List.length out.served;
+    let prefix_ratio = ratio_of ~opt:opt_prefix ~served:!served_so_far in
+    if prefix_ratio > !worst then worst := prefix_ratio
+  done;
+  let s = scores acc in
+  let opt = Offline.Opt_stream.opt tracker in
+  {
+    scores = s;
+    opt;
+    final_ratio = ratio_of ~opt ~served:s.served;
+    anytime_ratio = !worst;
+  }
+
+(* -- export through lib/obs ------------------------------------------- *)
+
+let record ?(prefix = "slo") m (s : scores) =
+  let counter name v = Obs.Metrics.incr ~by:v m (prefix ^ "." ^ name) in
+  let gauge name v =
+    if not (Float.is_nan v) then Obs.Metrics.set m (prefix ^ "." ^ name) v
+  in
+  counter "submitted" s.submitted;
+  counter "served" s.served;
+  counter "expired" s.expired;
+  counter "rounds" s.rounds;
+  gauge "violation_rate" s.violation_rate;
+  gauge "throughput" s.throughput;
+  gauge "antt" s.antt;
+  gauge "max_delay_factor" s.max_delay_factor;
+  gauge "machines_needed" (float_of_int s.machines_needed)
+
+(* -- score modes (CLI) ------------------------------------------------ *)
+
+type mode = Ratio | Violation | Throughput | Antt | Delay | Machines
+
+type selector = All | One of mode
+
+let selectors =
+  [
+    ("ratio", One Ratio);
+    ("violation", One Violation);
+    ("throughput", One Throughput);
+    ("antt", One Antt);
+    ("delay", One Delay);
+    ("machines", One Machines);
+    ("slo", All);
+  ]
+
+let selector_names = List.map fst selectors
+
+let selector_of_name name =
+  match List.assoc_opt name selectors with
+  | Some s -> Ok s
+  | None ->
+      Error
+        (Printf.sprintf "unknown score mode %S (expected one of: %s)" name
+           (String.concat ", " selector_names))
+
+let selector_to_name s =
+  fst (List.find (fun (_, s') -> s' = s) selectors)
+
+let mode_label = function
+  | Ratio -> "ratio"
+  | Violation -> "viol%"
+  | Throughput -> "thr/round"
+  | Antt -> "antt"
+  | Delay -> "maxDF"
+  | Machines -> "machines"
+
+let float_cell fmt v = if Float.is_nan v then "-" else Printf.sprintf fmt v
+
+let mode_cell mode ~ratio (s : scores) =
+  match mode with
+  | Ratio -> float_cell "%.3f" ratio
+  | Violation -> float_cell "%.1f%%" (100.0 *. s.violation_rate)
+  | Throughput -> float_cell "%.2f" s.throughput
+  | Antt -> float_cell "%.3f" s.antt
+  | Delay -> float_cell "%.3f" s.max_delay_factor
+  | Machines -> string_of_int s.machines_needed
+
+let pp_scores ppf (s : scores) =
+  Format.fprintf ppf
+    "@[<v>submitted        %d@,served           %d@,expired          %d@,\
+     rounds           %d@,violation rate   %s@,throughput       %s@,\
+     antt             %s@,max delay factor %s@,machines needed  %d@]"
+    s.submitted s.served s.expired s.rounds
+    (float_cell "%.4f" s.violation_rate)
+    (float_cell "%.4f" s.throughput)
+    (float_cell "%.4f" s.antt)
+    (float_cell "%.4f" s.max_delay_factor)
+    s.machines_needed

@@ -178,8 +178,9 @@ let cell o f = match o with Done v -> f v | Failed _ -> "FAILED"
 let cache_format_version = 1
 
 (* part of every key: bump when a job with unchanged parameters starts
-   meaning a different computation, so stale cache dirs read as misses *)
-let semantic_version = 1
+   meaning a different computation, so stale cache dirs read as misses
+   (v2: sweep cells carry the full SLO score record, not one count) *)
+let semantic_version = 2
 
 let key_string ~family ~shared ~name ~params =
   Printf.sprintf "v%d %s/%s?%s" semantic_version family name

@@ -64,4 +64,13 @@ let instance_of_workload ~name ~n ~d ~rounds ~load ~seed =
     (try Ok (Adversary.Thm25.make ~d ~groups:3 ~intervals:phases).instance
      with Invalid_argument m -> Error m)
   | "thm37" -> Ok (fst (Adversary.Thm37.make ~d ~intervals:phases)).instance
+  | other when List.mem other Workload.Zoo.names ->
+    Workload.Zoo.generate ~name:other ~n ~d ~rounds ~load ~seed
   | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let workload_names =
+  [
+    "uniform"; "zipf"; "bursty"; "thm21"; "thm22"; "thm23"; "thm24"; "thm25";
+    "thm37";
+  ]
+  @ Workload.Zoo.names

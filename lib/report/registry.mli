@@ -33,4 +33,10 @@ val instance_of_workload :
   (Sched.Instance.t, string) result
 (** [uniform], [zipf], [bursty] generate from the size parameters and
     [seed]; theorem adversaries ([thm21] …) fix their own scenario and
-    use [d] and [rounds] only to size it. *)
+    use [d] and [rounds] only to size it; the zoo families
+    ({!Workload.Zoo.names}: [hotspot], [diurnal], [vod], [overload],
+    [mix]) generate from all of them with per-round keyed seeding. *)
+
+val workload_names : string list
+(** Every name {!instance_of_workload} accepts, in display order
+    (stochastic, theorem adversaries, then the zoo families). *)

@@ -611,6 +611,64 @@ let test_live_validation () =
       (List.mem_assoc 0 o.Engine.Live.served);
     check Alcotest.bool "is_served" true (Engine.Live.is_served live 0)
 
+(* Sustained 3x overload: the expired outcomes must account for exactly
+   the requests the engine could not serve — served + expired conserves
+   submitted once every window has closed, expired lists are ascending
+   and never name a served request.  Violation-rate scoring
+   (Analysis.Slo) is built on this accounting. *)
+let test_live_overload_accounting () =
+  let n = 4 and d = 3 and rounds = 60 in
+  let live = Engine.Live.create ~n ~d (Strategies.Global.balance ()) in
+  let served = Hashtbl.create 256 in
+  let expired = Hashtbl.create 256 in
+  let submitted = ref 0 in
+  let absorb (o : Engine.Live.outcome) =
+    check Alcotest.bool "expired ids ascending" true
+      (List.sort compare o.expired = o.expired);
+    List.iter
+      (fun (id, _) ->
+         check Alcotest.bool "served at most once" false
+           (Hashtbl.mem served id);
+         Hashtbl.add served id ())
+      o.served;
+    List.iter
+      (fun id ->
+         check Alcotest.bool "expired request was never served" false
+           (Hashtbl.mem served id || Engine.Live.is_served live id);
+         check Alcotest.bool "expired at most once" false
+           (Hashtbl.mem expired id);
+         Hashtbl.add expired id ())
+      o.expired
+  in
+  for round = 0 to rounds - 1 do
+    (* 3x capacity: 3n requests per round, pairs rotating with the
+       round so every resource stays saturated *)
+    for j = 0 to (3 * n) - 1 do
+      let a = (round + j) mod n in
+      let b = (a + 1 + (j mod (n - 1))) mod n in
+      match Engine.Live.submit live ~alternatives:[ a; b ] ~deadline:d with
+      | Ok _ -> incr submitted
+      | Error m -> Alcotest.failf "overload submit rejected: %s" m
+    done;
+    absorb (Engine.Live.step live)
+  done;
+  (* drain: d more rounds with no arrivals close every open window *)
+  for _ = 1 to d do
+    absorb (Engine.Live.step live)
+  done;
+  check Alcotest.int "submitted as planned" (3 * n * rounds) !submitted;
+  check Alcotest.int "every request reached a terminal outcome"
+    !submitted
+    (Hashtbl.length served + Hashtbl.length expired);
+  check Alcotest.int "nothing left pending" 0 (Engine.Live.pending live);
+  check Alcotest.int "submitted counter agrees" !submitted
+    (Engine.Live.submitted live);
+  (* under saturation the matching serves all n resources every main
+     round; drain rounds add at most n * d more *)
+  check Alcotest.bool "full utilisation under overload" true
+    (let s = Hashtbl.length served in
+     s >= n * rounds && s <= n * (rounds + d))
+
 let () =
   Alcotest.run "sched"
     [
@@ -677,6 +735,8 @@ let () =
       ( "live",
         [
           Alcotest.test_case "submit validation" `Quick test_live_validation;
+          Alcotest.test_case "overload accounting" `Quick
+            test_live_overload_accounting;
           prop_live_matches_batch;
         ] );
     ]

@@ -375,7 +375,7 @@ let run_serve ~quick =
   let inst = Adversary.Random_workload.make ~rng ~n ~d ~rounds ~load:1.1 () in
   let run_solver solver =
     serve_once ~inst ~n ~d ~shards:2
-      ~strategy:(fun ~shard:_ -> Strategies.Global.balance ~solver ())
+      ~strategy:(fun ~shard:_ ~metrics:_ -> Strategies.Global.balance ~solver ())
       ~batch:1
   in
   (match
@@ -432,7 +432,7 @@ let run_serve ~quick =
     Adversary.Random_workload.make ~rng:rng2 ~n:n2 ~d:d2 ~rounds:rounds2
       ~load:6.0 ()
   in
-  let strategy2 ~shard:_ = Strategies.Twochoice.least_loaded () in
+  let strategy2 ~shard:_ ~metrics:_ = Strategies.Twochoice.least_loaded () in
   (* best-of-2 fresh-server runs per mode, after a compaction: when the
      whole bench runs, the Bechamel micro families leave an inflated
      major heap behind, and one unlucky GC pause inside a submit window
@@ -524,6 +524,193 @@ let run_serve ~quick =
        (batched_rqs >= 0.95 *. perline_rqs);
      print_newline ());
   if Sys.file_exists sock then Sys.remove sock
+
+(* The cluster tier's cost model: the paper's local strategies live
+   across a multi-node router.  Three angles: the Thm 3.7 certificate
+   measured over the wire (ratio exactly 2 at exactly 2 comm rounds),
+   the Thm 3.8 round budgets, and a straddle sweep -- the fraction of
+   requests whose two alternatives land on different nodes swept
+   0..100% to price cross-node coordination -- with the placement
+   invariant (identical decision logs on 1, 2 and 3 nodes) checked on
+   the way. *)
+let run_cluster ~quick =
+  let n = 16 and d = 4 in
+  let rounds = if quick then 40 else 160 in
+  (* classify resources by the 2-node ring the sweep runs on, so the
+     straddle fraction is a construction parameter, not an estimate *)
+  let ring2 = Cluster.Ring.create ~nodes:[ 0; 1 ] () in
+  let side k =
+    Array.of_list
+      (List.filter
+         (fun r -> Cluster.Ring.owner ring2 r = k)
+         (List.init n Fun.id))
+  in
+  let side0 = side 0 and side1 = side 1 in
+  assert (Array.length side0 >= 2 && Array.length side1 >= 2);
+  let straddle_instance ~pct ~seed =
+    let rng = Prelude.Rng.create ~seed in
+    let pick arr = arr.(Prelude.Rng.int rng (Array.length arr)) in
+    let per_round = n + (n / 8) in
+    let reqs = ref [] in
+    for round = 0 to rounds - 1 do
+      for _ = 1 to per_round do
+        let a, b =
+          if Prelude.Rng.int rng 100 < pct then
+            if Prelude.Rng.int rng 2 = 0 then (pick side0, pick side1)
+            else (pick side1, pick side0)
+          else begin
+            let s = if Prelude.Rng.int rng 2 = 0 then side0 else side1 in
+            let a = pick s in
+            let rec other () =
+              let b = pick s in
+              if b = a then other () else b
+            in
+            (a, other ())
+          end
+        in
+        reqs :=
+          Sched.Request.make ~arrival:round ~alternatives:[ a; b ]
+            ~deadline:(1 + Prelude.Rng.int rng d)
+          :: !reqs
+      done
+    done;
+    Sched.Instance.build ~n_resources:n ~d (List.rev !reqs)
+  in
+  let run_one ?priority ~strategy ~nodes inst =
+    let session = ref None in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Sched.Engine.run inst
+        (Cluster.Session.factory ?priority
+           ~on_create:(fun s -> session := Some s)
+           ~strategy ~nodes ())
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let stats =
+      match !session with
+      | Some s -> Cluster.Session.stats s
+      | None -> failwith "cluster factory never ran"
+    in
+    (o, stats, dt)
+  in
+  let decisions (o : Sched.Outcome.t) =
+    let lines = ref [] in
+    Array.iteri
+      (fun id sv ->
+         match sv with
+         | Some (res, round) -> lines := (round, id, res) :: !lines
+         | None -> ())
+      o.Sched.Outcome.served_at;
+    String.concat "\n"
+      (List.map
+         (fun (round, id, res) -> Printf.sprintf "t%d sched@%d S%d" round id res)
+         (List.sort compare !lines))
+  in
+  (* part 1: the straddle sweep on 2 nodes under A_local_fix *)
+  let table =
+    Prelude.Texttable.create
+      ~title:
+        (Printf.sprintf
+           "B.cluster  --  straddle sweep, A_local_fix on 2 nodes (n=%d \
+            d=%d %d rounds)"
+           n d rounds)
+      ~header:
+        [ "straddle %"; "requests"; "served"; "comm max"; "msgs/round";
+          "rounds/s" ]
+      ()
+  in
+  let fix_msg_budget_ok = ref true in
+  List.iter
+    (fun pct ->
+       let inst = straddle_instance ~pct ~seed:(900 + pct) in
+       let o, s, dt =
+         run_one ~strategy:Cluster.Session.Local_fix ~nodes:2 inst
+       in
+       let mpr =
+         float_of_int s.Cluster.Session.messages
+         /. float_of_int (max 1 s.Cluster.Session.scheduling_rounds)
+       in
+       let rps =
+         if dt > 0.0 then
+           float_of_int s.Cluster.Session.scheduling_rounds /. dt
+         else 0.0
+       in
+       (* A_local_fix speaks at most twice per request, ever *)
+       if s.Cluster.Session.messages > 2 * s.Cluster.Session.requests then
+         fix_msg_budget_ok := false;
+       if s.Cluster.Session.comm_rounds_max > 2 then
+         fix_msg_budget_ok := false;
+       let params =
+         [ ("n", string_of_int n); ("d", string_of_int d);
+           ("rounds", string_of_int rounds); ("nodes", "2");
+           ("straddle", string_of_int pct) ]
+       in
+       record ~family:"B.cluster" ~params ~metric:"msgs_per_round" mpr;
+       record ~family:"B.cluster" ~params ~metric:"rounds_per_s" rps;
+       Prelude.Texttable.add_row table
+         [
+           string_of_int pct;
+           string_of_int s.Cluster.Session.requests;
+           string_of_int o.Sched.Outcome.served;
+           string_of_int s.Cluster.Session.comm_rounds_max;
+           Printf.sprintf "%.1f" mpr;
+           Printf.sprintf "%.0f" rps;
+         ])
+    [ 0; 25; 50; 75; 100 ];
+  Prelude.Texttable.print table;
+  check "fix within budget: <= 2 msgs/request, <= 2 comm rounds"
+    !fix_msg_budget_ok;
+  (* part 2: placement invariance -- the router's mirror decides, so
+     the node layout must never change a decision *)
+  let inv_inst = straddle_instance ~pct:50 ~seed:950 in
+  let logs =
+    List.map
+      (fun nodes ->
+         let o, _, _ =
+           run_one ~strategy:Cluster.Session.Local_fix ~nodes inv_inst
+         in
+         decisions o)
+      [ 1; 2; 3 ]
+  in
+  check "decisions byte-identical across 1/2/3-node layouts"
+    (match logs with
+     | a :: rest -> List.for_all (fun b -> b = a) rest
+     | [] -> false);
+  (* part 3: the theorem certificates over the wire *)
+  let intervals = if quick then 4 else 12 in
+  let sc, priority = Adversary.Thm37.make ~d ~intervals in
+  let o37, s37, _ =
+    run_one ~priority ~strategy:Cluster.Session.Local_fix ~nodes:3
+      sc.Adversary.Scenario.instance
+  in
+  let opt37 = Offline.Opt.value sc.Adversary.Scenario.instance in
+  let params37 = [ ("d", string_of_int d); ("nodes", "3") ] in
+  record ~family:"B.cluster" ~params:params37 ~metric:"thm37_ratio"
+    (float_of_int opt37 /. float_of_int (max 1 o37.Sched.Outcome.served));
+  record ~family:"B.cluster" ~params:params37 ~metric:"thm37_comm_rounds_max"
+    (float_of_int s37.Cluster.Session.comm_rounds_max);
+  check "thm 3.7 live on 3 nodes: ratio exactly 2 at 2 comm rounds"
+    (opt37 = 2 * o37.Sched.Outcome.served
+     && s37.Cluster.Session.comm_rounds_max = 2);
+  let eager_inst = straddle_instance ~pct:50 ~seed:960 in
+  let budgets =
+    List.map
+      (fun (name, compact, bound) ->
+         let _, s, _ =
+           run_one
+             ~strategy:(Cluster.Session.Local_eager { compact })
+             ~nodes:3 eager_inst
+         in
+         record ~family:"B.cluster"
+           ~params:[ ("variant", name); ("nodes", "3") ]
+           ~metric:"comm_rounds_max"
+           (float_of_int s.Cluster.Session.comm_rounds_max);
+         s.Cluster.Session.comm_rounds_max <= bound)
+      [ ("eager", false, 9); ("eager_compact", true, 8) ]
+  in
+  check "thm 3.8 budgets live: eager <= 9 rounds, compact <= 8"
+    (List.for_all Fun.id budgets);
+  print_newline ()
 
 (* The anytime-monitoring cost model: the whole per-round OPT prefix
    curve by the incremental tracker vs one full Hopcroft-Karp solve per
@@ -815,6 +1002,7 @@ let () =
   bench_family "B.stream" (fun () -> run_stream ~quick);
   bench_family "B.jobs" (fun () -> run_jobs ~quick);
   bench_family "B.serve" (fun () -> run_serve ~quick);
+  bench_family "B.cluster" (fun () -> run_cluster ~quick);
   bench_family "B.zoo" (fun () -> run_zoo ~quick);
   let catalog =
     List.filter (fun (id, _) -> selected id)

@@ -721,7 +721,7 @@ let serve_cmd =
     match factory_of_name ~seed ~solver strategy with
     | Error m -> `Error (false, m)
     | Ok _ ->
-      let per_shard ~shard =
+      let per_shard ~shard ~metrics:_ =
         match factory_of_name ~seed:(seed + shard) ~solver strategy with
         | Ok f -> f
         | Error m -> failwith m
@@ -829,6 +829,276 @@ let serve_cmd =
        ~doc:
          "Run the live scheduling server (SIGINT/SIGTERM drain \
           gracefully).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* cluster *)
+
+let cluster_kind_of_name = function
+  | "local_fix" -> Ok Cluster.Session.Local_fix
+  | "local_eager" -> Ok (Cluster.Session.Local_eager { compact = false })
+  | "local_eager_compact" -> Ok (Cluster.Session.Local_eager { compact = true })
+  | "proxy_global" | "proxy-global" -> Ok Cluster.Session.Proxy_global
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown cluster strategy %S (local_fix, local_eager, \
+          local_eager_compact, proxy-global)"
+         other)
+
+let event_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | Some i ->
+      (try
+         Ok
+           ( int_of_string (String.sub s 0 i),
+             int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+       with Failure _ ->
+         Error (`Msg (Printf.sprintf "bad event %S, expected NODE@ROUND" s)))
+    | None ->
+      Error (`Msg (Printf.sprintf "bad event %S, expected NODE@ROUND" s))
+  in
+  let print ppf (node, round) = Format.fprintf ppf "%d@%d" node round in
+  Arg.conv ~docv:"NODE@ROUND" (parse, print)
+
+let cluster_cmd =
+  let action nodes strategy workload n d rounds load seed kills rejoins
+      fail_after capacity decisions_out listen tick_ms manual mfmt mout =
+    with_metrics mfmt mout @@ fun metrics ->
+    match cluster_kind_of_name strategy with
+    | Error m -> `Error (false, m)
+    | Ok kind ->
+      let stats_block (s : Cluster.Session.stats) =
+        Printf.printf
+          "cluster  : nodes=%d strategy=%s fail_after=%d\n"
+          nodes (Cluster.Session.kind_name kind) fail_after;
+        Printf.printf
+          "rounds   : scheduling=%d comm_total=%d comm_max=%d\n"
+          s.scheduling_rounds s.comm_rounds_total s.comm_rounds_max;
+        Printf.printf
+          "traffic  : msgs=%d bounced=%d dropped_dead=%d\n"
+          s.messages s.bounced s.dropped_dead;
+        Printf.printf
+          "requests : admitted=%d straddled=%d served=%d expired=%d \
+           readmitted=%d\n"
+          s.requests s.straddled s.served s.expired s.readmitted;
+        Printf.printf
+          "failover : failovers=%d handoffs=%d handoff_slots=%d \
+           serve_conflicts=%d\n"
+          s.failovers s.handoffs s.handoff_slots s.serve_conflicts
+      in
+      (match listen with
+       | Some addr ->
+         if kills <> [] || rejoins <> [] then
+           `Error (false, "--kill/--rejoin are for local runs, not --listen")
+         else begin
+           (* serve mode: one shard, the router tier fans out inside it *)
+           let cfg =
+             {
+               Serve.Server.addr;
+               n_resources = n;
+               d;
+               shards = 1;
+               strategy =
+                 (fun ~shard:_ ~metrics ->
+                   Cluster.Session.factory ~metrics ?capacity ~fail_after
+                     ~strategy:kind ~nodes ());
+               tick = (if manual then `Manual else `Every (tick_ms /. 1000.0));
+               queue_capacity = 1024;
+               max_batch = 512;
+               outbox_capacity = 4096;
+               read_timeout = 30.0;
+               name = "reqsched-cluster";
+             }
+           in
+           match Serve.Server.start ?metrics cfg with
+           | Error m -> `Error (false, m)
+           | Ok srv ->
+             let drain _ = Serve.Server.drain srv in
+             Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+             Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+             Printf.printf
+               "cluster serving on %s: n=%d d=%d nodes=%d strategy=%s \
+                tick=%s\n%!"
+               (Serve.Server.addr_to_string addr)
+               n d nodes
+               (Cluster.Session.kind_name kind)
+               (if manual then "manual" else Printf.sprintf "%.0fms" tick_ms);
+             let rec await () =
+               if not (Serve.Server.finished srv) then begin
+                 (try Unix.sleepf 0.1
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                 await ()
+               end
+             in
+             await ();
+             let snap = Serve.Server.wait srv in
+             let count name =
+               match List.assoc_opt name snap with
+               | Some (Obs.Metrics.Counter v) -> v
+               | Some _ | None -> 0
+             in
+             Printf.printf
+               "drained: served=%d expired=%d comm_rounds=%d bounced=%d\n"
+               (count "cluster.served") (count "cluster.expired")
+               (count "cluster.comm_rounds") (count "cluster.bounced");
+             `Ok ()
+         end
+       | None ->
+         (* deterministic local run under the engine's full validation *)
+         let thm37 = workload = "thm37" in
+         let instance =
+           if thm37 then
+             let sc, _ =
+               Adversary.Thm37.make ~d ~intervals:(max 1 (rounds / max 1 d))
+             in
+             Ok sc.Adversary.Scenario.instance
+           else instance_of_workload ~name:workload ~n ~d ~rounds ~load ~seed
+         in
+         (match instance with
+          | Error m -> `Error (false, m)
+          | Ok inst ->
+            let priority =
+              if thm37 then
+                Some
+                  (snd
+                     (Adversary.Thm37.make ~d
+                        ~intervals:(max 1 (rounds / max 1 d))))
+              else None
+            in
+            let session = ref None in
+            let base =
+              Cluster.Session.factory ?metrics ?capacity ?priority ~fail_after
+                ~on_create:(fun s -> session := Some s)
+                ~strategy:kind ~nodes ()
+            in
+            let factory ~n ~d =
+              let inner = base ~n ~d in
+              {
+                inner with
+                Sched.Strategy.step =
+                  (fun ~round ~arrivals ->
+                    (match !session with
+                     | Some s ->
+                       List.iter
+                         (fun (k, at) ->
+                            if at = round then Cluster.Session.kill s k)
+                         kills;
+                       List.iter
+                         (fun (k, at) ->
+                            if at = round then Cluster.Session.rejoin s k)
+                         rejoins
+                     | None -> ());
+                    inner.Sched.Strategy.step ~round ~arrivals);
+              }
+            in
+            (try
+               let o = Sched.Engine.run ?metrics inst factory in
+               let opt = Offline.Opt.value inst in
+               Printf.printf "instance : %s\n"
+                 (Format.asprintf "%a" Sched.Instance.pp_summary inst);
+               Printf.printf "served   : %d / %d\n" o.Sched.Outcome.served
+                 (Sched.Instance.n_requests inst);
+               Printf.printf "optimum  : %d\n" opt;
+               if o.Sched.Outcome.served > 0 then
+                 Printf.printf "ratio    : %.4f\n"
+                   (float_of_int opt /. float_of_int o.Sched.Outcome.served);
+               (match !session with
+                | Some s -> stats_block (Cluster.Session.stats s)
+                | None -> ());
+               (match decisions_out with
+                | None -> ()
+                | Some path ->
+                  let decisions = ref [] in
+                  Array.iteri
+                    (fun id sv ->
+                       match sv with
+                       | Some (res, round) ->
+                         decisions := (round, id, res) :: !decisions
+                       | None -> ())
+                    o.Sched.Outcome.served_at;
+                  let decisions = List.sort compare !decisions in
+                  let oc = open_out path in
+                  List.iter
+                    (fun (round, id, res) ->
+                       output_string oc
+                         (Printf.sprintf "t%d sched@%d S%d\n" round id res))
+                    decisions;
+                  close_out oc;
+                  Printf.printf "decisions: wrote %s (%d lines)\n" path
+                    (List.length decisions));
+               `Ok ()
+             with Invalid_argument m -> `Error (false, m))))
+  in
+  let nodes_arg =
+    let doc = "Shard nodes in the cluster (resources consistent-hashed)." in
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"K" ~doc)
+  in
+  let cluster_strategy_arg =
+    let doc =
+      "Cluster strategy: local_fix (Thm 3.7: 2 comm rounds, 2-competitive), \
+       local_eager (Thm 3.8: 9 rounds), local_eager_compact (8 rounds at \
+       mailbox capacity 2d-2), or proxy-global (router-probe baseline)."
+    in
+    Arg.(value & opt string "local_fix"
+         & info [ "s"; "strategy" ] ~docv:"S" ~doc)
+  in
+  let kill_arg =
+    let doc =
+      "Crash node $(i,NODE) just before round $(i,ROUND) (repeatable; \
+       local runs only)."
+    in
+    Arg.(value & opt_all event_conv [] & info [ "kill" ] ~doc)
+  in
+  let rejoin_arg =
+    let doc =
+      "Restart node $(i,NODE) just before round $(i,ROUND) (repeatable; \
+       local runs only)."
+    in
+    Arg.(value & opt_all event_conv [] & info [ "rejoin" ] ~doc)
+  in
+  let fail_after_arg =
+    let doc = "Consecutive missed pongs before a node is declared dead." in
+    Arg.(value & opt int 2 & info [ "fail-after" ] ~docv:"K" ~doc)
+  in
+  let capacity_arg =
+    let doc =
+      "Per-resource mailbox capacity (default: the strategy's paper \
+       value — d, or 2d-2 for local_eager_compact)."
+    in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"C" ~doc)
+  in
+  let decisions_arg =
+    let doc =
+      "Write the serve decisions (one $(b,t<round> sched@<id> S<res>) \
+       line each) to $(docv) — byte-identical across runs and across \
+       $(b,--nodes) layouts."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "decisions" ] ~docv:"FILE" ~doc)
+  in
+  let listen_arg =
+    let doc =
+      "Serve the cluster live on tcp:HOST:PORT or unix:PATH instead of \
+       running a local workload."
+    in
+    Arg.(value & opt (some (addr_conv ~what:"ADDR")) None
+         & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let term =
+    Term.(ret (const action $ nodes_arg $ cluster_strategy_arg $ workload_arg
+               $ n_arg $ d_arg $ rounds_arg $ load_arg $ seed_arg $ kill_arg
+               $ rejoin_arg $ fail_after_arg $ capacity_arg $ decisions_arg
+               $ listen_arg $ tick_ms_arg $ manual_arg $ metrics_fmt_arg
+               $ metrics_out_arg))
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the paper's local strategies live across a multi-node \
+          router tier (consistent-hash placement, capacity-d mailboxes, \
+          failure/rejoin), or serve it with --listen.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1257,5 +1527,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; compare_cmd; exp_cmd; table1_cmd; trace_cmd; sweep_cmd;
-            zoo_cmd; search_cmd; serve_cmd; load_cmd;
+            zoo_cmd; search_cmd; serve_cmd; cluster_cmd; load_cmd;
           ]))

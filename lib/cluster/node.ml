@@ -1,0 +1,59 @@
+(* The slot replica.  Deliberately passive: every transition is driven
+   by the router applying a delivered wire message, so the replica's
+   content is always explainable by the message log. *)
+
+module Slots = Localstrat.Slots
+
+type t = {
+  node_id : int;
+  slots : Wire.reqinfo Slots.t;
+  mutable alive : bool;
+}
+
+let create ~id = { node_id = id; slots = Slots.create (); alive = true }
+let id t = t.node_id
+let alive t = t.alive
+
+let kill t =
+  Slots.clear t.slots;
+  t.alive <- false
+
+let revive t =
+  if t.alive then invalid_arg "Node.revive: already alive";
+  t.alive <- true
+
+let check_alive t op =
+  if not t.alive then invalid_arg ("Node." ^ op ^ ": node is dead")
+
+let set_slot t ~res ~round ri =
+  check_alive t "set_slot";
+  Slots.set t.slots ~res ~round ri
+
+let free_slot t ~res ~round =
+  check_alive t "free_slot";
+  Slots.free t.slots ~res ~round
+
+let take_slot t ~res ~round =
+  check_alive t "take_slot";
+  Slots.take t.slots ~res ~round
+
+let export t ~res ~from_round =
+  check_alive t "export";
+  let entries =
+    Slots.fold t.slots
+      (fun ~res:r ~round v acc ->
+         if r = res && round >= from_round then (round, v) :: acc else acc)
+      []
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  List.iter (fun (round, _) -> Slots.free t.slots ~res ~round) entries;
+  entries
+
+let import t ~res entries =
+  check_alive t "import";
+  List.iter
+    (fun (round, ri) ->
+       if Slots.mem t.slots ~res ~round then
+         invalid_arg "Node.import: slot already occupied";
+       Slots.set t.slots ~res ~round ri)
+    entries

@@ -1,0 +1,923 @@
+(* The router tier.  The decision state here is deliberately the same
+   state machine as Localstrat.Local — same slot table, same maximal
+   acceptance rule, same phase order — but every protocol step is
+   driven by what the Transport actually delivered as wire bytes, and
+   every accepted decision is materialised on the owning node's
+   replica.  That split is the whole design: decisions depend only on
+   resources and senders (so they are identical to the simulator and
+   invariant under node placement), while the replicas carry the state
+   that is genuinely lost when a node dies. *)
+
+module Request = Sched.Request
+module Strategy = Sched.Strategy
+module Slots = Localstrat.Slots
+
+type kind =
+  | Local_fix
+  | Local_eager of { compact : bool }
+  | Proxy_global
+
+let kind_name = function
+  | Local_fix -> "local_fix"
+  | Local_eager { compact = false } -> "local_eager"
+  | Local_eager { compact = true } -> "local_eager_compact"
+  | Proxy_global -> "proxy_global"
+
+type stats = {
+  scheduling_rounds : int;
+  comm_rounds_total : int;
+  comm_rounds_max : int;
+  messages : int;
+  bounced : int;
+  dropped_dead : int;
+  requests : int;
+  straddled : int;
+  served : int;
+  expired : int;
+  readmitted : int;
+  failovers : int;
+  handoffs : int;
+  handoff_slots : int;
+  serve_conflicts : int;
+}
+
+type outcome = {
+  round : int;
+  served : (int * int) list;
+  expired : int list;
+}
+
+type t = {
+  n : int;
+  d : int;
+  kind : kind;
+  fail_after : int;
+  metrics : Obs.Metrics.t option;
+  transport : Transport.t;
+  nodes : Node.t array;
+  mutable ring : Ring.t;
+  suspected : int array;        (* consecutive missed pongs *)
+  confirmed_dead : bool array;  (* the router's view; Node.alive is truth *)
+  (* the mirror: Localstrat.Local's decision state *)
+  slots : int Slots.t;
+  assigned : (int, int * int) Hashtbl.t;
+  active : (int, Request.t) Hashtbl.t;
+  mutable round : int;
+  mutable queue : Request.t list;  (* reversed pending submissions *)
+  mutable readmit : int list;      (* failover re-admissions, oldest first *)
+  mutable next_id : int;
+  ids : (int, unit) Hashtbl.t;
+  mutable sched_rounds : int;
+  mutable max_cr : int;
+  mutable requests_n : int;
+  mutable straddled_n : int;
+  mutable served_n : int;
+  mutable expired_n : int;
+  mutable readmitted_n : int;
+  mutable failovers_n : int;
+  mutable handoffs_n : int;
+  mutable handoff_slots_n : int;
+  mutable conflicts_n : int;
+}
+
+let met ?(by = 1) t key =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.incr ~by m key
+
+let create ?metrics ?capacity ?priority ?(fail_after = 2) ?vnodes ~strategy
+    ~nodes ~n ~d () =
+  if nodes < 1 then invalid_arg "Session.create: nodes < 1";
+  if n < 1 then invalid_arg "Session.create: n < 1";
+  if d < 1 then invalid_arg "Session.create: d < 1";
+  if fail_after < 1 then invalid_arg "Session.create: fail_after < 1";
+  let capacity =
+    match capacity with
+    | Some c ->
+      (* the cancellation round is only guaranteed bounce-free at
+         capacity >= d (at most d-1 cancels target one resource) *)
+      if c < d then invalid_arg "Session.create: capacity < d"
+      else c
+    | None ->
+      (match strategy with
+       | Local_eager { compact = true } -> max d ((2 * d) - 2)
+       | Local_fix | Local_eager _ | Proxy_global -> d)
+  in
+  let metrics = Obs.Metrics.resolve metrics in
+  let transport = Transport.create ~n ~capacity ?priority ?metrics () in
+  let t =
+    {
+      n;
+      d;
+      kind = strategy;
+      fail_after;
+      metrics;
+      transport;
+      nodes = Array.init nodes (fun id -> Node.create ~id);
+      ring = Ring.create ?vnodes ~nodes:(List.init nodes Fun.id) ();
+      suspected = Array.make nodes 0;
+      confirmed_dead = Array.make nodes false;
+      slots = Slots.create ();
+      assigned = Hashtbl.create 128;
+      active = Hashtbl.create 128;
+      round = 0;
+      queue = [];
+      readmit = [];
+      next_id = 0;
+      ids = Hashtbl.create 128;
+      sched_rounds = 0;
+      max_cr = 0;
+      requests_n = 0;
+      straddled_n = 0;
+      served_n = 0;
+      expired_n = 0;
+      readmitted_n = 0;
+      failovers_n = 0;
+      handoffs_n = 0;
+      handoff_slots_n = 0;
+      conflicts_n = 0;
+    }
+  in
+  (match metrics with
+   | Some m -> Obs.Metrics.set m "cluster.nodes" (float_of_int nodes)
+   | None -> ());
+  Array.iter
+    (fun node ->
+       ignore
+         (Transport.control transport (Wire.Hello { node = Node.id node })))
+    t.nodes;
+  t
+
+let round t = t.round
+let node_alive t k = Node.alive t.nodes.(k)
+let owner t res = Ring.owner t.ring res
+let node_of t res = t.nodes.(Ring.owner t.ring res)
+let pending t = Hashtbl.length t.active + List.length t.queue
+
+let exchange t envs =
+  Transport.exchange t.transport
+    ~owner:(fun res -> Ring.owner t.ring res)
+    ~alive:(fun k -> Node.alive t.nodes.(k))
+    envs
+
+let respond t reply = ignore (Transport.respond t.transport reply)
+
+(* ------------------------------------------------------------------ *)
+(* submission *)
+
+let enqueue t (r : Request.t) =
+  Hashtbl.replace t.ids r.Request.id ();
+  if r.Request.id >= t.next_id then t.next_id <- r.Request.id + 1;
+  t.queue <- r :: t.queue
+
+let submit ?id t ~alternatives ~deadline =
+  if deadline < 1 || deadline > t.d then
+    Error (Printf.sprintf "deadline %d outside 1 .. %d" deadline t.d)
+  else if List.exists (fun res -> res < 0 || res >= t.n) alternatives then
+    Error "alternative resource out of range"
+  else
+    match id with
+    | Some i when i < 0 -> Error (Printf.sprintf "negative id %d" i)
+    | Some i when Hashtbl.mem t.ids i ->
+      Error (Printf.sprintf "duplicate id %d" i)
+    | _ ->
+      let id = match id with Some i -> i | None -> t.next_id in
+      (match Request.make ~arrival:t.round ~alternatives ~deadline with
+       | exception Invalid_argument m -> Error m
+       | proto ->
+         enqueue t (Request.with_id proto id);
+         Ok id)
+
+(* ------------------------------------------------------------------ *)
+(* mirror primitives (Localstrat.Local's, verbatim semantics) *)
+
+let try_accept t ~round res (r : Request.t) =
+  match
+    Slots.try_accept t.slots ~round ~res ~arrival:r.Request.arrival
+      ~last:(Request.last_round r) r.Request.id
+  with
+  | None -> None
+  | Some slot ->
+    Hashtbl.replace t.assigned r.Request.id (res, slot);
+    Some slot
+
+let expire t ~round =
+  let dead =
+    Hashtbl.fold
+      (fun id r acc -> if Request.last_round r < round then id :: acc else acc)
+      t.active []
+  in
+  List.iter
+    (fun id ->
+       Hashtbl.remove t.active id;
+       (match Hashtbl.find_opt t.assigned id with
+        | Some (res, slot) -> Slots.free t.slots ~res ~round:slot
+        | None -> ());
+       Hashtbl.remove t.assigned id)
+    dead;
+  List.sort compare dead
+
+(* ------------------------------------------------------------------ *)
+(* liveness: ping sweep, failover, rejoin *)
+
+let declare_dead t k =
+  t.confirmed_dead.(k) <- true;
+  t.failovers_n <- t.failovers_n + 1;
+  met t "cluster.failovers";
+  let old_ring = t.ring in
+  if List.length (Ring.members t.ring) > 1 && Ring.mem t.ring k then
+    t.ring <- Ring.remove t.ring k;
+  (* every request assigned to a resource the dead node hosted has lost
+     its slot with the node's state: free it in the mirror and push the
+     survivors back through the next round's offer phase, windows
+     untouched *)
+  let victims =
+    Hashtbl.fold
+      (fun id (res, slot) acc ->
+         if Ring.owner old_ring res = k then (id, res, slot) :: acc else acc)
+      t.assigned []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (id, res, slot) ->
+       Slots.free t.slots ~res ~round:slot;
+       Hashtbl.remove t.assigned id;
+       if Hashtbl.mem t.active id then begin
+         t.readmit <- t.readmit @ [ id ];
+         t.readmitted_n <- t.readmitted_n + 1;
+         met t "cluster.readmitted"
+       end)
+    victims
+
+let ping_sweep t =
+  Array.iteri
+    (fun k node ->
+       if not t.confirmed_dead.(k) then begin
+         ignore (Transport.control t.transport (Wire.Ping { round = t.round }));
+         if Node.alive node then begin
+           t.suspected.(k) <- 0;
+           respond t (Wire.Pong { node = k; round = t.round })
+         end
+         else begin
+           t.suspected.(k) <- t.suspected.(k) + 1;
+           if t.suspected.(k) >= t.fail_after then declare_dead t k
+         end
+       end)
+    t.nodes
+
+let kill t k =
+  if k < 0 || k >= Array.length t.nodes then
+    invalid_arg "Session.kill: unknown node";
+  if not (Node.alive t.nodes.(k)) then
+    invalid_arg "Session.kill: node already dead";
+  Node.kill t.nodes.(k)
+
+let rejoin t k =
+  if k < 0 || k >= Array.length t.nodes then
+    invalid_arg "Session.rejoin: unknown node";
+  if Node.alive t.nodes.(k) then invalid_arg "Session.rejoin: node is alive";
+  Node.revive t.nodes.(k);
+  t.suspected.(k) <- 0;
+  if t.confirmed_dead.(k) then begin
+    t.confirmed_dead.(k) <- false;
+    ignore
+      (Transport.control t.transport (Wire.Join { node = k; round = t.round }));
+    let old_ring = t.ring in
+    if not (Ring.mem t.ring k) then t.ring <- Ring.add t.ring k;
+    (* every resource that moves back to the rejoined node carries its
+       future slots over in an explicit handoff from the survivor that
+       hosted them *)
+    List.iter
+      (fun res ->
+         let donor = t.nodes.(Ring.owner old_ring res) in
+         if Node.alive donor then begin
+           match Node.export donor ~res ~from_round:t.round with
+           | [] -> ()
+           | slots ->
+             (match
+                Transport.control t.transport (Wire.Handoff { res; slots })
+              with
+              | Wire.Handoff { res = res'; slots = slots' } ->
+                Node.import t.nodes.(k) ~res:res' slots'
+              | _ -> assert false);
+             t.handoffs_n <- t.handoffs_n + 1;
+             met t "cluster.handoffs";
+             t.handoff_slots_n <- t.handoff_slots_n + List.length slots;
+             met ~by:(List.length slots) t "cluster.handoff_slots"
+         end)
+      (Ring.moved ~before:old_ring ~after:t.ring ~n:t.n)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* serve collection: the mirror claims, the replica confirms *)
+
+let collect_serves t ~round =
+  let serves = ref [] in
+  for res = t.n - 1 downto 0 do
+    match Slots.take t.slots ~res ~round with
+    | None -> ()
+    | Some id ->
+      Hashtbl.remove t.assigned id;
+      let node = node_of t res in
+      let confirmed =
+        Node.alive node
+        &&
+        match Node.take_slot node ~res ~round with
+        | Some ri when ri.Wire.rid = id -> true
+        | Some _ | None ->
+          t.conflicts_n <- t.conflicts_n + 1;
+          met t "cluster.serve_conflicts";
+          false
+      in
+      if confirmed then begin
+        respond t (Wire.Served { res; round; q = id });
+        Hashtbl.remove t.active id;
+        serves := (id, res) :: !serves
+      end
+      else if Hashtbl.mem t.active id then begin
+        (* the node lost the slot with its state before the router
+           noticed: the serve did not happen.  Re-admit while the
+           window still allows; expiry provides the terminal if not. *)
+        t.readmit <- t.readmit @ [ id ];
+        t.readmitted_n <- t.readmitted_n + 1;
+        met t "cluster.readmitted"
+      end
+  done;
+  !serves
+
+(* ------------------------------------------------------------------ *)
+(* the fix protocol (and A_local_eager's phase 1) over the wire *)
+
+let offer_round t ~round ~alt senders =
+  let envs =
+    List.filter_map
+      (fun (r : Request.t) ->
+         if alt >= Array.length r.Request.alternatives then None
+         else
+           Some
+             {
+               Wire.sender = r.Request.id;
+               dst = r.Request.alternatives.(alt);
+               deadline_key = Request.last_round r;
+               tagged = false;
+               data = Wire.Offer (Wire.reqinfo_of_request r);
+             })
+      senders
+  in
+  let results = exchange t envs in
+  let skipped =
+    List.filter
+      (fun (r : Request.t) -> alt >= Array.length r.Request.alternatives)
+      senders
+  in
+  let delivered =
+    List.filter_map
+      (fun (e, st) -> if st = Transport.Delivered then Some e else None)
+      results
+  in
+  (* each resource processes its delivered offers in EDF order *)
+  let by_deadline =
+    List.sort
+      (fun (a : Wire.env) b ->
+         if a.Wire.deadline_key <> b.Wire.deadline_key then
+           compare a.Wire.deadline_key b.Wire.deadline_key
+         else compare a.Wire.sender b.Wire.sender)
+      delivered
+  in
+  let rejected =
+    List.filter_map
+      (fun (e : Wire.env) ->
+         let ri =
+           match e.Wire.data with Wire.Offer ri -> ri | _ -> assert false
+         in
+         let r = Wire.request_of_reqinfo ri in
+         match try_accept t ~round e.Wire.dst r with
+         | Some slot ->
+           Node.set_slot (node_of t e.Wire.dst) ~res:e.Wire.dst ~round:slot ri;
+           respond t (Wire.Accept { q = ri.Wire.rid; res = e.Wire.dst; slot });
+           None
+         | None ->
+           respond t (Wire.Full { q = ri.Wire.rid; res = e.Wire.dst });
+           Some r)
+      by_deadline
+  in
+  let failed =
+    List.filter_map
+      (fun ((e : Wire.env), st) ->
+         if st = Transport.Delivered then None
+         else
+           match e.Wire.data with
+           | Wire.Offer ri -> Some (Wire.request_of_reqinfo ri)
+           | _ -> assert false)
+      results
+  in
+  skipped @ failed @ rejected
+
+let fix_tick t ~round newcomers =
+  let failed = offer_round t ~round ~alt:0 newcomers in
+  ignore (offer_round t ~round ~alt:1 failed)
+
+(* ------------------------------------------------------------------ *)
+(* A_local_eager over the wire *)
+
+type move = Request.t * int * int * int (* r, old res, old slot, new res *)
+
+(* The mirror commits a move when its cancellation lands (the same
+   point Localstrat.Local applies it); the new owner's replica is
+   pre-positioned at acknowledgment time, which is equivalent because a
+   cancellation can never lose the capacity contest at capacity >= d
+   and replicas are only read at end of round. *)
+let apply_move t ~round (((r : Request.t), res, slot, other) : move) =
+  Slots.free t.slots ~res ~round:slot;
+  Slots.set t.slots ~res:other ~round r.Request.id;
+  Hashtbl.replace t.assigned r.Request.id (other, round)
+
+let eager_phase2_select t ~round =
+  let movers =
+    Hashtbl.fold
+      (fun id (res, slot) acc ->
+         if slot > round then
+           match Hashtbl.find_opt t.active id with
+           | Some r when Array.length r.Request.alternatives >= 2 ->
+             let other =
+               if r.Request.alternatives.(0) = res then
+                 r.Request.alternatives.(1)
+               else r.Request.alternatives.(0)
+             in
+             (r, res, slot, other) :: acc
+           | Some _ | None -> acc
+         else acc)
+      t.assigned []
+  in
+  let envs =
+    List.map
+      (fun ((r : Request.t), _res, _slot, other) ->
+         {
+           Wire.sender = r.Request.id;
+           dst = other;
+           deadline_key = Request.last_round r;
+           tagged = false;
+           data = Wire.Probe (Wire.reqinfo_of_request r);
+         })
+      movers
+  in
+  let results = exchange t envs in
+  (* each resource with a free current slot acknowledges one mover *)
+  let chosen = Hashtbl.create 16 in
+  List.iter
+    (fun ((e : Wire.env), st) ->
+       if
+         st = Transport.Delivered
+         && not (Slots.mem t.slots ~res:e.Wire.dst ~round)
+       then
+         match Hashtbl.find_opt chosen e.Wire.dst with
+         | Some prev when prev <= e.Wire.sender -> ()
+         | Some _ | None -> Hashtbl.replace chosen e.Wire.dst e.Wire.sender)
+    results;
+  let moves =
+    List.filter
+      (fun ((r : Request.t), _res, _slot, other) ->
+         Hashtbl.find_opt chosen other = Some r.Request.id)
+      movers
+  in
+  List.iter
+    (fun (((r : Request.t), _res, _slot, other) : move) ->
+       respond t (Wire.Ack { q = r.Request.id; res = other });
+       Node.set_slot (node_of t other) ~res:other ~round
+         (Wire.reqinfo_of_request r))
+    moves;
+  moves
+
+let cancel_envs (moves : move list) =
+  List.map
+    (fun ((r : Request.t), res, slot, _other) ->
+       {
+         Wire.sender = r.Request.id;
+         dst = res;
+         (* highest LDF rank: the capacity cut must never break an
+            acknowledged move (at most d-1 cancels target one resource,
+            below every capacity we allow) *)
+         deadline_key = max_int;
+         tagged = false;
+         data = Wire.Cancel { q = r.Request.id; old_res = res; old_t = slot };
+       })
+    moves
+
+(* A cancellation outcome: Delivered frees the old node's replica slot;
+   Dead means the old node lost that state anyway.  Either way the
+   acknowledged move stands.  Bounced is unreachable at capacity >= d,
+   and if it ever happened the move must abort (mirror untouched). *)
+let process_cancel t ~round ~moves_tbl (e : Wire.env) st =
+  match e.Wire.data with
+  | Wire.Cancel { q; old_res; old_t } ->
+    if st <> Transport.Bounced then begin
+      (match Hashtbl.find_opt moves_tbl q with
+       | Some mv ->
+         apply_move t ~round mv;
+         Hashtbl.remove moves_tbl q
+       | None -> ());
+      if st = Transport.Delivered then
+        Node.free_slot (node_of t old_res) ~res:old_res ~round:old_t
+    end
+  | _ -> ()
+
+type swap = { sw_q : Request.t; sw_res : int; sw_r : int }
+
+let swap_envs swaps =
+  List.map
+    (fun s ->
+       {
+         Wire.sender = s.sw_q.Request.id;
+         dst = s.sw_res;
+         deadline_key = Request.last_round s.sw_q;
+         tagged = true;
+         data =
+           Wire.Swap { r = s.sw_r; q = Wire.reqinfo_of_request s.sw_q };
+       })
+    swaps
+
+let rival_envs ~alt pending =
+  List.filter_map
+    (fun (q : Request.t) ->
+       if alt >= Array.length q.Request.alternatives then None
+       else
+         Some
+           {
+             Wire.sender = q.Request.id;
+             dst = q.Request.alternatives.(alt);
+             deadline_key = Request.last_round q;
+             tagged = false;
+             data = Wire.Rival (Wire.reqinfo_of_request q);
+           })
+    pending
+
+let apply_swap t ~round ~swapped ~res (q : Wire.reqinfo) ~replica =
+  Slots.set t.slots ~res ~round q.Wire.rid;
+  Hashtbl.replace t.assigned q.Wire.rid (res, round);
+  swapped.(res) <- true;
+  if replica then Node.set_slot (node_of t res) ~res ~round q
+
+(* One communication round carrying tagged swap notifications (from the
+   previous attempt) together with this attempt's rival requests (and,
+   in the compact variant, the pending cancellations).  Returns the
+   grants: resource -> (q, current occupant r, r's other resource). *)
+let rival_round t ~round ~swapped ~moves_tbl ~prev_swaps ~extra ~alt pending
+  =
+  let envs = swap_envs prev_swaps @ extra @ rival_envs ~alt pending in
+  let results = exchange t envs in
+  (* swaps (tagged, never cut) and cancellations settle before the
+     grant computation, so the check sees the final slot occupancy *)
+  List.iter
+    (fun ((e : Wire.env), st) ->
+       match e.Wire.data with
+       | Wire.Swap { r = _; q } ->
+         assert (st <> Transport.Bounced);
+         apply_swap t ~round ~swapped ~res:e.Wire.dst q
+           ~replica:(st = Transport.Delivered)
+       | Wire.Cancel _ -> process_cancel t ~round ~moves_tbl e st
+       | _ -> ())
+    results;
+  let grants = Hashtbl.create 16 in
+  List.iter
+    (fun ((e : Wire.env), st) ->
+       match e.Wire.data with
+       | Wire.Rival q_ri ->
+         let res = e.Wire.dst in
+         if
+           st = Transport.Delivered
+           && (not swapped.(res))
+           && not (Hashtbl.mem grants res)
+         then (
+           match Slots.find t.slots ~res ~round with
+           | None -> ()
+           | Some r_id ->
+             (match Hashtbl.find_opt t.active r_id with
+              | None -> ()
+              | Some r when Array.length r.Request.alternatives < 2 -> ()
+              | Some r ->
+                let s_r =
+                  if r.Request.alternatives.(0) = res then
+                    r.Request.alternatives.(1)
+                  else r.Request.alternatives.(0)
+                in
+                respond t (Wire.Ack { q = q_ri.Wire.rid; res });
+                Hashtbl.replace grants res
+                  (Wire.request_of_reqinfo q_ri, r, s_r)))
+       | _ -> ())
+    results;
+  grants
+
+(* The rehome communication round: each granted rival forwards the
+   current occupant to its other resource, which accepts into a free
+   slot of the occupant's window.  Returns the successful swaps. *)
+let rehome_round t ~round grants =
+  let envs =
+    Hashtbl.fold
+      (fun res ((q : Request.t), (r : Request.t), s_r) acc ->
+         {
+           Wire.sender = q.Request.id;
+           dst = s_r;
+           deadline_key = Request.last_round r;
+           tagged = false;
+           data = Wire.Rehome { r = Wire.reqinfo_of_request r; res };
+         }
+         :: acc)
+      grants []
+  in
+  let results = exchange t envs in
+  let ordered =
+    List.sort
+      (fun ((a : Wire.env), _) (b, _) ->
+         if a.Wire.deadline_key <> b.Wire.deadline_key then
+           compare a.Wire.deadline_key b.Wire.deadline_key
+         else compare a.Wire.sender b.Wire.sender)
+      results
+  in
+  List.filter_map
+    (fun ((e : Wire.env), st) ->
+       if st <> Transport.Delivered then None
+       else
+         match e.Wire.data with
+         | Wire.Rehome { r = r_ri; res } ->
+           if Slots.find t.slots ~res ~round <> Some r_ri.Wire.rid then None
+           else begin
+             let r = Wire.request_of_reqinfo r_ri in
+             match try_accept t ~round e.Wire.dst r with
+             | Some slot ->
+               Node.set_slot (node_of t e.Wire.dst) ~res:e.Wire.dst
+                 ~round:slot r_ri;
+               respond t
+                 (Wire.Accept { q = r_ri.Wire.rid; res = e.Wire.dst; slot });
+               (* r re-homed; the old slot is freed in the mirror now
+                  and on the owner's replica when the tagged swap
+                  notification overwrites it *)
+               Slots.free t.slots ~res ~round;
+               let q =
+                 match Hashtbl.find_opt grants res with
+                 | Some (q, _, _) -> q
+                 | None -> assert false
+               in
+               Some { sw_q = q; sw_res = res; sw_r = r_ri.Wire.rid }
+             | None -> None
+           end
+         | _ -> None)
+    ordered
+
+let eager_tick t ~compact ~round =
+  let unscheduled () =
+    Hashtbl.fold
+      (fun id r acc ->
+         if Hashtbl.mem t.assigned id then acc else r :: acc)
+      t.active []
+    |> List.sort (fun (a : Request.t) b ->
+        compare a.Request.id b.Request.id)
+  in
+  (* phase 1 (2 comm rounds): the fix protocol over all unscheduled
+     live requests *)
+  let failed = offer_round t ~round ~alt:0 (unscheduled ()) in
+  ignore (offer_round t ~round ~alt:1 failed);
+  (* phase 2: pull future-scheduled requests into free current slots *)
+  let moves = eager_phase2_select t ~round in
+  let moves_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (((r : Request.t), _, _, _) as mv : move) ->
+       Hashtbl.replace moves_tbl r.Request.id mv)
+    moves;
+  let pending_cancels =
+    if compact then cancel_envs moves
+    else begin
+      let results = exchange t (cancel_envs moves) in
+      List.iter
+        (fun (e, st) -> process_cancel t ~round ~moves_tbl e st)
+        results;
+      []
+    end
+  in
+  (* phase 3 (5 comm rounds): two swap attempts; attempt 1's tagged
+     notifications share a round with attempt 2's rival requests *)
+  let swapped = Array.make t.n false in
+  let grants1 =
+    rival_round t ~round ~swapped ~moves_tbl ~prev_swaps:[]
+      ~extra:pending_cancels ~alt:0 (unscheduled ())
+  in
+  let swaps1 = rehome_round t ~round grants1 in
+  let won1 = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace won1 s.sw_q.Request.id ()) swaps1;
+  let pending2 =
+    List.filter
+      (fun (q : Request.t) -> not (Hashtbl.mem won1 q.Request.id))
+      (unscheduled ())
+  in
+  let grants2 =
+    rival_round t ~round ~swapped ~moves_tbl ~prev_swaps:swaps1 ~extra:[]
+      ~alt:1 pending2
+  in
+  let swaps2 = rehome_round t ~round grants2 in
+  (* final communication round: attempt 2's tagged notifications *)
+  let results = exchange t (swap_envs swaps2) in
+  List.iter
+    (fun ((e : Wire.env), st) ->
+       match e.Wire.data with
+       | Wire.Swap { r = _; q } ->
+         apply_swap t ~round ~swapped ~res:e.Wire.dst q
+           ~replica:(st = Transport.Delivered)
+       | _ -> ())
+    results
+
+(* ------------------------------------------------------------------ *)
+(* the proxy-global baseline: probe both loads, assign the earliest *)
+
+let free_slot_in_window t ~round ~res (r : Request.t) =
+  let last = Request.last_round r in
+  let rec scan slot =
+    if slot > last then None
+    else if Slots.mem t.slots ~res ~round:slot then scan (slot + 1)
+    else Some slot
+  in
+  scan (max round r.Request.arrival)
+
+let proxy_tick t ~round =
+  let unscheduled =
+    Hashtbl.fold
+      (fun id r acc ->
+         if Hashtbl.mem t.assigned id then acc else r :: acc)
+      t.active []
+    |> List.sort (fun (a : Request.t) b ->
+        let la = Request.last_round a and lb = Request.last_round b in
+        if la <> lb then compare la lb else compare a.Request.id b.Request.id)
+  in
+  (* round 1: load probes to every alternative *)
+  let probes =
+    List.concat_map
+      (fun (q : Request.t) ->
+         Array.to_list q.Request.alternatives
+         |> List.map (fun res ->
+             {
+               Wire.sender = q.Request.id;
+               dst = res;
+               deadline_key = Request.last_round q;
+               tagged = false;
+               data = Wire.Loadq;
+             }))
+      unscheduled
+  in
+  let results = exchange t probes in
+  let offers = Hashtbl.create 32 in
+  (* (request, resource) -> earliest free slot *)
+  List.iter
+    (fun ((e : Wire.env), st) ->
+       if st = Transport.Delivered then
+         match Hashtbl.find_opt t.active e.Wire.sender with
+         | None -> ()
+         | Some q ->
+           (match free_slot_in_window t ~round ~res:e.Wire.dst q with
+            | Some slot ->
+              respond t
+                (Wire.Freeat { q = e.Wire.sender; res = e.Wire.dst; slot });
+              Hashtbl.replace offers (e.Wire.sender, e.Wire.dst) slot
+            | None ->
+              respond t (Wire.Full { q = e.Wire.sender; res = e.Wire.dst })))
+    results;
+  (* round 2: claim the earliest offered slot (first alternative wins
+     ties); the resource re-checks, the probe answer may be stale *)
+  let assigns =
+    List.filter_map
+      (fun (q : Request.t) ->
+         let best =
+           Array.fold_left
+             (fun best res ->
+                match Hashtbl.find_opt offers (q.Request.id, res) with
+                | None -> best
+                | Some slot ->
+                  (match best with
+                   | Some (_, s) when s <= slot -> best
+                   | _ -> Some (res, slot)))
+             None q.Request.alternatives
+         in
+         match best with
+         | None -> None
+         | Some (res, _slot) ->
+           Some
+             {
+               Wire.sender = q.Request.id;
+               dst = res;
+               deadline_key = Request.last_round q;
+               tagged = false;
+               data = Wire.Assign (Wire.reqinfo_of_request q);
+             })
+      unscheduled
+  in
+  let results = exchange t assigns in
+  let ordered =
+    List.sort
+      (fun ((a : Wire.env), _) (b, _) ->
+         if a.Wire.deadline_key <> b.Wire.deadline_key then
+           compare a.Wire.deadline_key b.Wire.deadline_key
+         else compare a.Wire.sender b.Wire.sender)
+      results
+  in
+  List.iter
+    (fun ((e : Wire.env), st) ->
+       if st = Transport.Delivered then
+         match e.Wire.data with
+         | Wire.Assign ri ->
+           let r = Wire.request_of_reqinfo ri in
+           (match try_accept t ~round e.Wire.dst r with
+            | Some slot ->
+              Node.set_slot (node_of t e.Wire.dst) ~res:e.Wire.dst
+                ~round:slot ri;
+              respond t
+                (Wire.Accept { q = ri.Wire.rid; res = e.Wire.dst; slot })
+            | None ->
+              respond t (Wire.Full { q = ri.Wire.rid; res = e.Wire.dst }))
+         | _ -> ())
+    ordered
+
+(* ------------------------------------------------------------------ *)
+(* the scheduling round *)
+
+let step t =
+  let round = t.round in
+  t.sched_rounds <- t.sched_rounds + 1;
+  let cr0 = Transport.comm_rounds t.transport in
+  ping_sweep t;
+  let expired = expire t ~round in
+  let arrivals = List.rev t.queue in
+  t.queue <- [];
+  List.iter
+    (fun (r : Request.t) ->
+       Hashtbl.replace t.active r.Request.id r;
+       t.requests_n <- t.requests_n + 1;
+       met t "cluster.requests";
+       if
+         Array.length r.Request.alternatives >= 2
+         && owner t r.Request.alternatives.(0)
+            <> owner t r.Request.alternatives.(1)
+       then begin
+         t.straddled_n <- t.straddled_n + 1;
+         met t "cluster.straddle"
+       end)
+    arrivals;
+  let readmits =
+    List.filter_map (fun id -> Hashtbl.find_opt t.active id) t.readmit
+  in
+  t.readmit <- [];
+  (match t.kind with
+   | Local_fix -> fix_tick t ~round (readmits @ arrivals)
+   | Local_eager { compact } -> eager_tick t ~compact ~round
+   | Proxy_global -> proxy_tick t ~round);
+  let cr = Transport.comm_rounds t.transport - cr0 in
+  if cr > t.max_cr then begin
+    t.max_cr <- cr;
+    match t.metrics with
+    | Some m -> Obs.Metrics.set_counter m "cluster.comm_rounds_max" t.max_cr
+    | None -> ()
+  end;
+  let served = collect_serves t ~round in
+  t.served_n <- t.served_n + List.length served;
+  met ~by:(List.length served) t "cluster.served";
+  t.expired_n <- t.expired_n + List.length expired;
+  met ~by:(List.length expired) t "cluster.expired";
+  t.round <- round + 1;
+  { round; served; expired }
+
+let stats t =
+  {
+    scheduling_rounds = t.sched_rounds;
+    comm_rounds_total = Transport.comm_rounds t.transport;
+    comm_rounds_max = t.max_cr;
+    messages = Transport.messages t.transport;
+    bounced = Transport.bounced t.transport;
+    dropped_dead = Transport.dropped_dead t.transport;
+    requests = t.requests_n;
+    straddled = t.straddled_n;
+    served = t.served_n;
+    expired = t.expired_n;
+    readmitted = t.readmitted_n;
+    failovers = t.failovers_n;
+    handoffs = t.handoffs_n;
+    handoff_slots = t.handoff_slots_n;
+    serve_conflicts = t.conflicts_n;
+  }
+
+let factory ?metrics ?capacity ?priority ?fail_after ?vnodes ?on_create
+    ~strategy ~nodes () : Strategy.factory =
+ fun ~n ~d ->
+  let t =
+    create ?metrics ?capacity ?priority ?fail_after ?vnodes ~strategy ~nodes
+      ~n ~d ()
+  in
+  (match on_create with Some f -> f t | None -> ());
+  {
+    Strategy.name =
+      Printf.sprintf "%s@cluster%d" (kind_name strategy) nodes;
+    step =
+      (fun ~round ~arrivals ->
+         if round <> t.round then
+           invalid_arg
+             (Printf.sprintf "Session: engine round %d, cluster round %d"
+                round t.round);
+         Array.iter (fun r -> enqueue t r) arrivals;
+         let out = step t in
+         List.map
+           (fun (id, resource) -> { Strategy.request = id; resource })
+           out.served);
+  }

@@ -1,0 +1,55 @@
+(* The message-budget accounting shared by the synchronous simulator
+   (Net.exchange) and the live cluster transport
+   (Cluster.Transport.exchange): one implementation of the paper's
+   per-resource mailbox rule, so the two paths cannot drift apart.  The
+   drop-set parity test in test_cluster pins the agreement. *)
+
+type envelope = {
+  b_sender : int;
+  b_dst : int;
+  b_deadline : int;
+  b_tagged : bool;
+}
+
+let deliver ~n ~capacity ~priority indexed =
+  let delivered = Hashtbl.create 64 in
+  (* bucket by destination, preserving nothing about order: ties inside
+     a bucket fall back to the global message index, so bucket
+     construction order is immaterial *)
+  let buckets = Array.make n [] in
+  List.iter
+    (fun ((_, e) as ie) ->
+       if e.b_dst < 0 || e.b_dst >= n then
+         invalid_arg "Budget.deliver: destination out of range";
+       buckets.(e.b_dst) <- ie :: buckets.(e.b_dst))
+    indexed;
+  Array.iteri
+    (fun dst inbox ->
+       let tagged, untagged =
+         List.partition (fun (_, e) -> e.b_tagged) inbox
+       in
+       List.iter (fun (i, _) -> Hashtbl.replace delivered i ()) tagged;
+       (* LDF: keep the [capacity] messages with the latest deadlines;
+          ties by higher priority, then lower sender id, then arrival
+          order *)
+       let ranked =
+         List.sort
+           (fun (ia, a) (ib, b) ->
+              if a.b_deadline <> b.b_deadline then
+                compare b.b_deadline a.b_deadline
+              else begin
+                let pa = priority ~sender:a.b_sender ~dst
+                and pb = priority ~sender:b.b_sender ~dst in
+                if pa <> pb then compare pb pa
+                else if a.b_sender <> b.b_sender then
+                  compare a.b_sender b.b_sender
+                else compare ia ib
+              end)
+           untagged
+       in
+       List.iteri
+         (fun rank (i, _) ->
+            if rank < capacity then Hashtbl.replace delivered i ())
+         ranked)
+    buckets;
+  delivered

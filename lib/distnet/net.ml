@@ -78,45 +78,31 @@ let exchange t msgs =
     in
     (* messages are identified by their position in the input list: the
        same (sender, dst) pair may legally appear several times in one
-       exchange, and each copy is delivered or bounced on its own *)
+       exchange, and each copy is delivered or bounced on its own.  The
+       mailbox rule itself lives in Budget.deliver, shared with the live
+       cluster transport. *)
     let indexed = List.mapi (fun i m -> (i, m)) msgs in
-    (* bucket by destination *)
-    let buckets = Array.make t.n [] in
-    List.iter
-      (fun ((_, m) as im) ->
-         if m.dst < 0 || m.dst >= t.n then
-           invalid_arg "Net.exchange: destination out of range";
-         if survives m then buckets.(m.dst) <- im :: buckets.(m.dst))
-      indexed;
-    let delivered = Hashtbl.create 64 in
-    Array.iteri
-      (fun dst inbox ->
-         let tagged, untagged =
-           List.partition (fun (_, m) -> m.tagged) inbox
-         in
-         List.iter (fun (i, _) -> Hashtbl.replace delivered i ()) tagged;
-         (* LDF: keep the [capacity] messages with the latest deadlines;
-            ties by higher priority, then lower sender id, then arrival
-            order *)
-         let ranked =
-           List.sort
-             (fun (ia, a) (ib, b) ->
-                if a.deadline_key <> b.deadline_key then
-                  compare b.deadline_key a.deadline_key
-                else begin
-                  let pa = t.priority ~sender:a.sender ~dst
-                  and pb = t.priority ~sender:b.sender ~dst in
-                  if pa <> pb then compare pb pa
-                  else if a.sender <> b.sender then compare a.sender b.sender
-                  else compare ia ib
-                end)
-             untagged
-         in
-         List.iteri
-           (fun rank (i, _) ->
-              if rank < t.capacity then Hashtbl.replace delivered i ())
-           ranked)
-      buckets;
+    let envelopes =
+      List.filter_map
+        (fun (i, m) ->
+           if m.dst < 0 || m.dst >= t.n then
+             invalid_arg "Net.exchange: destination out of range";
+           if survives m then
+             Some
+               ( i,
+                 {
+                   Budget.b_sender = m.sender;
+                   b_dst = m.dst;
+                   b_deadline = m.deadline_key;
+                   b_tagged = m.tagged;
+                 } )
+           else None)
+        indexed
+    in
+    let delivered =
+      Budget.deliver ~n:t.n ~capacity:t.capacity ~priority:t.priority
+        envelopes
+    in
     let bounced = ref 0 in
     let results =
       List.map

@@ -14,7 +14,7 @@ type state = {
   n : int;
   d : int;
   net : Net.t;
-  slots : (int * int, int) Hashtbl.t; (* (resource, round) -> request id *)
+  slots : int Slots.t; (* (resource, round) -> request id *)
   assigned : (int, int * int) Hashtbl.t; (* id -> (resource, round) *)
   active : (int, Request.t) Hashtbl.t;
   mutable sched_rounds : int;
@@ -28,7 +28,7 @@ let make_state ~n ~d ~capacity ~loss ~priority ~metrics =
     net =
       Net.create ~n ~capacity ?priority ~loss
         ~loss_rng:(Prelude.Rng.create ~seed:1) ?metrics ();
-    slots = Hashtbl.create 128;
+    slots = Slots.create ();
     assigned = Hashtbl.create 128;
     active = Hashtbl.create 128;
     sched_rounds = 0;
@@ -45,18 +45,15 @@ let stats_of st =
   }
 
 (* A resource accepts a request into its earliest free slot inside the
-   request's window (a maximal acceptance rule).  Returns the slot. *)
+   request's window (a maximal acceptance rule, Slots.try_accept).
+   Returns the slot. *)
 let try_accept st ~round res (r : Request.t) =
-  let lo = max round r.Request.arrival and hi = Request.last_round r in
-  let rec find t =
-    if t > hi then None
-    else if Hashtbl.mem st.slots (res, t) then find (t + 1)
-    else Some t
-  in
-  match find lo with
+  match
+    Slots.try_accept st.slots ~round ~res ~arrival:r.Request.arrival
+      ~last:(Request.last_round r) r.Request.id
+  with
   | None -> None
   | Some t ->
-    Hashtbl.replace st.slots (res, t) r.Request.id;
     Hashtbl.replace st.assigned r.Request.id (res, t);
     Some t
 
@@ -122,7 +119,7 @@ let expire st ~round =
     (fun id ->
        Hashtbl.remove st.active id;
        (match Hashtbl.find_opt st.assigned id with
-        | Some (res, t) -> Hashtbl.remove st.slots (res, t)
+        | Some (res, t) -> Slots.free st.slots ~res ~round:t
         | None -> ());
        Hashtbl.remove st.assigned id)
     dead
@@ -130,10 +127,9 @@ let expire st ~round =
 let collect_serves st ~round =
   let serves = ref [] in
   for res = 0 to st.n - 1 do
-    match Hashtbl.find_opt st.slots (res, round) with
+    match Slots.take st.slots ~res ~round with
     | None -> ()
     | Some id ->
-      Hashtbl.remove st.slots (res, round);
       Hashtbl.remove st.assigned id;
       Hashtbl.remove st.active id;
       serves := { Strategy.request = id; resource = res } :: !serves
@@ -198,7 +194,7 @@ let eager_phase2_select st ~round =
   let chosen = Hashtbl.create 16 in
   List.iter
     (fun (m, ok) ->
-       if ok && not (Hashtbl.mem st.slots (m.Net.dst, round)) then
+       if ok && not (Slots.mem st.slots ~res:m.Net.dst ~round) then
          match Hashtbl.find_opt chosen m.Net.dst with
          | Some prev when prev <= m.Net.sender -> ()
          | Some _ | None -> Hashtbl.replace chosen m.Net.dst m.Net.sender)
@@ -211,8 +207,8 @@ let eager_phase2_select st ~round =
 type move = Request.t * int * int * int (* r, old res, old t, new res *)
 
 let apply_move st ~round ((r : Request.t), res, t, other) =
-  Hashtbl.remove st.slots (res, t);
-  Hashtbl.replace st.slots (other, round) r.Request.id;
+  Slots.free st.slots ~res ~round:t;
+  Slots.set st.slots ~res:other ~round r.Request.id;
   Hashtbl.replace st.assigned r.Request.id (other, round)
 
 (* Phase 3 plumbing.  A successful swap hands the current slot of
@@ -273,7 +269,7 @@ let rival_msgs ~alt pending =
     pending
 
 let apply_swap st ~round ~swapped s =
-  Hashtbl.replace st.slots (s.sw_res, round) s.sw_q.Request.id;
+  Slots.set st.slots ~res:s.sw_res ~round s.sw_q.Request.id;
   Hashtbl.replace st.assigned s.sw_q.Request.id (s.sw_res, round);
   swapped.(s.sw_res) <- true
 
@@ -306,7 +302,7 @@ let rival_round st ~round ~swapped ~prev_swaps ~extra ~alt pending =
        | Rival q ->
          let res = m.Net.dst in
          if ok && (not swapped.(res)) && not (Hashtbl.mem grants res) then
-           match Hashtbl.find_opt st.slots (res, round) with
+           match Slots.find st.slots ~res ~round with
            | None -> ()
            | Some r_id ->
              (match Hashtbl.find_opt st.active r_id with
@@ -353,14 +349,14 @@ let rehome_round st ~round grants =
        if not ok then None
        else begin
          let q, (r : Request.t), res = m.Net.payload in
-         if Hashtbl.find_opt st.slots (res, round) <> Some r.Request.id then
+         if Slots.find st.slots ~res ~round <> Some r.Request.id then
            None
          else
            match try_accept st ~round m.Net.dst r with
            | Some _ ->
              (* r re-homed; its old slot is freed pending the tagged
                 swap notification *)
-             Hashtbl.remove st.slots (res, round);
+             Slots.free st.slots ~res ~round;
              Some { sw_q = q; sw_res = res; sw_r = r.Request.id }
            | None -> None
        end)

@@ -67,21 +67,7 @@ let recv ?(timeout = 10.0) t =
   | Ok None -> Error (Printf.sprintf "timed out after %.1fs" timeout)
   | Error _ as e -> e
 
-(* Same resolution hazards as the server side: gethostbyname raises
-   Not_found on an unknown name and can return an empty address list —
-   both become clean errors here, never escaping exceptions. *)
-let resolve_host host =
-  if host = "" || host = "localhost" then Ok Unix.inet_addr_loopback
-  else
-    match Unix.inet_addr_of_string host with
-    | a -> Ok a
-    | exception Failure _ ->
-      (match Unix.gethostbyname host with
-       | { Unix.h_addr_list = [||]; _ } ->
-         Error (Printf.sprintf "host %S resolved to no addresses" host)
-       | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
-       | exception Not_found ->
-         Error (Printf.sprintf "cannot resolve host %S" host))
+let resolve_host host = Resolve.host ~listen:false host
 
 let connect addr ~client =
   let sock () =

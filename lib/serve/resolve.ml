@@ -1,0 +1,28 @@
+(* One hostname resolver for both sides of the wire (Server's listener
+   and Client.connect grew identical copies of the same clean-error
+   handling in PR 7; this is the shared version).
+
+   gethostbyname raises Not_found on an unknown name, and a resolvable
+   name can still come back with an empty address list — both must
+   surface as a clean error, not an escaping exception. *)
+
+let lookup host =
+  match Unix.inet_addr_of_string host with
+  | a -> Ok a
+  | exception Failure _ ->
+    (match Unix.gethostbyname host with
+     | { Unix.h_addr_list = [||]; _ } ->
+       Error (Printf.sprintf "host %S resolved to no addresses" host)
+     | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+     | exception Not_found ->
+       Error (Printf.sprintf "cannot resolve host %S" host))
+
+(* The two sides read an empty host differently: a listener binds every
+   interface, a client dials loopback.  "0.0.0.0" is likewise the
+   wildcard when listening but an ordinary dotted quad when dialing. *)
+let host ~listen h =
+  if h = "localhost" then Ok Unix.inet_addr_loopback
+  else if h = "" then
+    Ok (if listen then Unix.inet_addr_any else Unix.inet_addr_loopback)
+  else if listen && h = "0.0.0.0" then Ok Unix.inet_addr_any
+  else lookup h

@@ -1,0 +1,16 @@
+(** Shared hostname resolution for {!Server} (listen side) and
+    {!Client} (connect side).
+
+    Resolution failures are returned, never raised: an unknown name and
+    a name resolving to an empty address list both come back as
+    [Error]. *)
+
+val host : listen:bool -> string -> (Unix.inet_addr, string) result
+(** ["localhost"] is loopback on both sides.  The empty host means
+    "every interface" when [listen] and loopback otherwise; ["0.0.0.0"]
+    is the listen-side wildcard (when dialing it parses as an ordinary
+    dotted quad).  Anything else is parsed as a numeric address, then
+    resolved via DNS. *)
+
+val lookup : string -> (Unix.inet_addr, string) result
+(** The raw numeric-then-DNS step without the special cases. *)

@@ -51,7 +51,7 @@ type config = {
   n_resources : int;
   d : int;
   shards : int;
-  strategy : shard:int -> Sched.Strategy.factory;
+  strategy : shard:int -> metrics:Obs.Metrics.t -> Sched.Strategy.factory;
   tick : [ `Every of float | `Manual ];
   queue_capacity : int;
   max_batch : int;      (* longest batch line accepted *)
@@ -79,22 +79,7 @@ type t = {
 (* ------------------------------------------------------------------ *)
 (* sockets *)
 
-let resolve_host host =
-  if host = "" || host = "0.0.0.0" then Ok Unix.inet_addr_any
-  else if host = "localhost" then Ok Unix.inet_addr_loopback
-  else
-    match Unix.inet_addr_of_string host with
-    | a -> Ok a
-    | exception Failure _ ->
-      (* gethostbyname raises Not_found on an unknown name, and a
-         resolvable name can still come back with an empty address list
-         — both must surface as a clean error, not an exception *)
-      (match Unix.gethostbyname host with
-       | { Unix.h_addr_list = [||]; _ } ->
-         Error (Printf.sprintf "host %S resolved to no addresses" host)
-       | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
-       | exception Not_found ->
-         Error (Printf.sprintf "cannot resolve host %S" host))
+let resolve_host host = Resolve.host ~listen:true host
 
 (* Reclaim a unix-socket path only when the existing file really is a
    socket (a stale leftover from a previous run); anything else at that
@@ -558,10 +543,15 @@ let start ?metrics cfg =
       in
       let shards =
         Array.init shards_n (fun i ->
-            Shard.create ~index:i ~lo:(i * stride)
+            (* the shard's private registry is also handed to the
+               strategy factory: strategy-level counters ride the same
+               merge as the serve ones *)
+            let metrics = Obs.Metrics.create () in
+            Shard.create ~metrics ~index:i ~lo:(i * stride)
               ~hi:(min cfg.n_resources ((i + 1) * stride))
               ~d:cfg.d ~queue_capacity:cfg.queue_capacity
-              ~strategy:(cfg.strategy ~shard:i) ~outbox:outboxes.(i))
+              ~strategy:(cfg.strategy ~shard:i ~metrics)
+              ~outbox:outboxes.(i) ())
       in
       let t =
         {

@@ -38,9 +38,13 @@ type config = {
   d : int;                 (** nominal deadline; per-request deadlines
                                above it are rejected as invalid *)
   shards : int;            (** clamped to [1 .. n_resources] *)
-  strategy : shard:int -> Sched.Strategy.factory;
+  strategy : shard:int -> metrics:Obs.Metrics.t -> Sched.Strategy.factory;
       (** per-shard factory, so randomised strategies can be seeded per
-          shard instead of sharing state across domains *)
+          shard instead of sharing state across domains.  [metrics] is
+          the shard's private registry (merged into the final snapshot
+          when the server finishes) — the hook strategy-level
+          instrumentation rides on: a cluster session records its
+          [cluster.*] counters there, a local protocol its [net.*]. *)
   tick : [ `Every of float | `Manual ];
       (** [`Every dt]: a round every [dt] seconds (real time).
           [`Manual]: rounds advance on wire [tick] messages (logical

@@ -35,9 +35,11 @@ type t = {
   exited : bool Atomic.t;
 }
 
-let create ~index ~lo ~hi ~d ~queue_capacity ~strategy ~outbox =
+let create ?metrics ~index ~lo ~hi ~d ~queue_capacity ~strategy ~outbox () =
   if hi <= lo then invalid_arg "Shard.create: empty resource range";
-  let metrics = Obs.Metrics.create () in
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   {
     index;
     lo;

@@ -39,10 +39,15 @@ type tick_source =
 type t
 
 val create :
+  ?metrics:Obs.Metrics.t ->
   index:int -> lo:int -> hi:int -> d:int -> queue_capacity:int ->
   strategy:Sched.Strategy.factory ->
-  outbox:(int * Protocol.server_msg) Chan.t -> t
-(** A shard owning global resources [lo .. hi-1].
+  outbox:(int * Protocol.server_msg) Chan.t -> unit -> t
+(** A shard owning global resources [lo .. hi-1].  [metrics] is the
+    shard-private registry (fresh when omitted); the server hands the
+    same registry to the strategy factory, so strategy-level counters
+    (a cluster session's [cluster.*], a local protocol's [net.*]) are
+    merged into the final snapshot with the [serve.*] ones.
     @raise Invalid_argument if the range is empty. *)
 
 val index : t -> int

@@ -208,7 +208,7 @@ let with_server ?(shards = 2) ?(n = 8) ?(d = 4) ?(queue_capacity = 1024)
       n_resources = n;
       d;
       shards;
-      strategy = (fun ~shard:_ -> Strategies.Global.balance ());
+      strategy = (fun ~shard:_ ~metrics:_ -> Strategies.Global.balance ());
       tick;
       queue_capacity;
       max_batch;
@@ -523,7 +523,7 @@ let base_cfg addr =
     n_resources = 8;
     d = 4;
     shards = 2;
-    strategy = (fun ~shard:_ -> Strategies.Global.balance ());
+    strategy = (fun ~shard:_ ~metrics:_ -> Strategies.Global.balance ());
     tick = `Manual;
     queue_capacity = 64;
     max_batch = 512;

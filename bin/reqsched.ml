@@ -711,8 +711,8 @@ let manual_arg =
   Arg.(value & flag & info [ "manual" ] ~doc)
 
 let serve_cmd =
-  let action listen shards n d strategy solver seed tick_ms manual queue_cap
-      max_batch outbox_cap read_timeout mfmt mout =
+  let action listen shards domains n d strategy solver seed tick_ms manual
+      queue_cap max_batch outbox_cap read_timeout mfmt mout =
     with_metrics mfmt mout @@ fun metrics ->
     with_solver solver @@ fun solver ->
     (* validate the strategy name once up front; per-shard factories
@@ -732,6 +732,7 @@ let serve_cmd =
           n_resources = n;
           d;
           shards;
+          domains;
           strategy = per_shard;
           tick = (if manual then `Manual else `Every (tick_ms /. 1000.0));
           queue_capacity = queue_cap;
@@ -748,10 +749,12 @@ let serve_cmd =
          Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
          Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
          Printf.printf
-           "serving on %s: n=%d d=%d shards=%d strategy=%s tick=%s\n%!"
+           "serving on %s: n=%d d=%d shards=%d domains=%d strategy=%s \
+            tick=%s\n%!"
            (Serve.Server.addr_to_string listen)
            n d
            (Serve.Server.n_shards srv)
+           (Serve.Server.n_domains srv)
            strategy
            (if manual then "manual" else Printf.sprintf "%.0fms" tick_ms);
          (* the signal handler only flips an atomic; poll for completion
@@ -787,10 +790,19 @@ let serve_cmd =
   in
   let shards_arg =
     let doc =
-      "Worker domains; the resource space is split into this many \
+      "Scheduling shards; the resource space is split into this many \
        contiguous slices (clamped to [1, n])."
     in
     Arg.(value & opt int 2 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains stepping the shards, each owning a contiguous \
+       slice of them (clamped to [1, shards]).  0 means one domain \
+       per shard.  With $(b,--manual) ticks, scheduling decisions are \
+       byte-identical at any domain count."
+    in
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"W" ~doc)
   in
   let queue_cap_arg =
     let doc =
@@ -819,8 +831,8 @@ let serve_cmd =
     Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECS" ~doc)
   in
   let term =
-    Term.(ret (const action $ listen_arg $ shards_arg $ n_arg $ d_arg
-               $ strategy_arg $ solver_arg $ seed_arg $ tick_ms_arg
+    Term.(ret (const action $ listen_arg $ shards_arg $ domains_arg $ n_arg
+               $ d_arg $ strategy_arg $ solver_arg $ seed_arg $ tick_ms_arg
                $ manual_arg $ queue_cap_arg $ max_batch_arg $ outbox_cap_arg
                $ read_timeout_arg $ metrics_fmt_arg $ metrics_out_arg))
   in
@@ -900,6 +912,7 @@ let cluster_cmd =
                n_resources = n;
                d;
                shards = 1;
+               domains = 0;
                strategy =
                  (fun ~shard:_ ~metrics ->
                    Cluster.Session.factory ~metrics ?capacity ~fail_after

@@ -12,7 +12,8 @@ val strategy_names : string list
 (** Every name {!factory_of_name} accepts, in display order. *)
 
 val solver_names : string list
-(** Solver names {!solver_of_name} accepts (["kernel"; "rebuild"]). *)
+(** Solver names {!solver_of_name} accepts
+    (["kernel"; "kernel-ring"; "rebuild"]). *)
 
 val solver_of_name : string -> (Strategies.Global.solver, string) result
 (** ["kernel"] is the warm-start incremental kernel (the default

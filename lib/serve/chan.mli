@@ -13,9 +13,20 @@
 type 'a t
 
 val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 1].  [capacity] may be
+(** Mutex-protected flavour: safe for any number of producer domains.
+    @raise Invalid_argument if [capacity < 1].  [capacity] may be
     [max_int] for an effectively unbounded queue; storage only ever
     grows to the high-water mark actually reached. *)
+
+val create_spsc : capacity:int -> dummy:'a -> 'a t
+(** Lock-free single-producer/single-consumer flavour: exactly one
+    domain may ever push and exactly one (possibly different) domain may
+    ever drain — the server's inboxes (I/O domain → worker) and outboxes
+    (worker → I/O domain) qualify.  Same API and FIFO/backpressure
+    semantics as {!create}; the mutex flavour is the oracle in the
+    differential tests.  The ring is allocated eagerly at full
+    [capacity] (no lock-free grow), seeded with [dummy], so keep the
+    capacity modest.  @raise Invalid_argument if [capacity < 1]. *)
 
 val try_push : 'a t -> 'a -> bool
 (** Append; [false] iff the queue is at capacity. *)

@@ -3,8 +3,9 @@
    One I/O domain owns the listener and every client socket (nonblocking,
    select-driven): it frames lines, parses messages, applies admission
    control and routes accepted requests to shard inboxes — a batch line
-   becomes one grouped push per target shard.  Shard domains (Shard.run)
-   own the engines and push responses into per-shard outbox rings; the
+   becomes one grouped push per target shard.  Worker domains
+   (Worker.run) each drive a contiguous slice of shards, stepping the
+   engines and pushing responses into per-shard outbox rings; the
    I/O domain merges and flushes all of them on every loop iteration, so
    shards never contend with each other on the reply path.  Client
    failures (EPIPE,
@@ -51,6 +52,7 @@ type config = {
   n_resources : int;
   d : int;
   shards : int;
+  domains : int;        (* worker domains; <= 0 means one per shard *)
   strategy : shard:int -> metrics:Obs.Metrics.t -> Sched.Strategy.factory;
   tick : [ `Every of float | `Manual ];
   queue_capacity : int;
@@ -414,11 +416,19 @@ let io_loop t =
     in
     (* Adaptive pacing: while a tick ack is owed or replies are sitting
        in an outbox, the next wake-up depends on shard progress — which
-       select cannot see — so poll tightly; otherwise sleep the full
-       interval and let readable fds wake us. *)
+       select cannot see — so poll tightly.  A non-empty inbox alone is
+       NOT a reason to poll: in manual mode the workers won't touch it
+       until the next wire tick, and spinning on it just steals cycles
+       from the submitting client.  Otherwise sleep: half a tick in
+       interval mode (clamped to the poll floor and the 5 ms ceiling)
+       so replies lag a round by at most half a round, a flat 5 ms in
+       manual mode, and let readable fds wake us early. *)
     let timeout =
       if !pending_acks <> [] || not (outboxes_empty ()) then 0.00005
-      else 0.005
+      else
+        match t.cfg.tick with
+        | `Every dt -> Float.max 0.00005 (Float.min 0.005 (dt /. 2.0))
+        | `Manual -> 0.005
     in
     let rds, wrs =
       match Unix.select reads writes [] timeout with
@@ -537,9 +547,16 @@ let start ?metrics cfg =
     | Error _ as e -> e
     | Ok listen_fd ->
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      (* each outbox has exactly one producer (the owning worker) and
+         one consumer (the I/O domain): SPSC unless the capacity makes
+         eager allocation unreasonable *)
+      let dummy_reply = (-1, Protocol.Error { message = "" }) in
       let outboxes =
         Array.init shards_n (fun _ ->
-            Chan.create ~capacity:cfg.outbox_capacity)
+            if cfg.outbox_capacity <= 65536 then
+              Chan.create_spsc ~capacity:cfg.outbox_capacity
+                ~dummy:dummy_reply
+            else Chan.create ~capacity:cfg.outbox_capacity)
       in
       let shards =
         Array.init shards_n (fun i ->
@@ -570,28 +587,40 @@ let start ?metrics cfg =
           joined = false;
         }
       in
+      (* worker domains: contiguous shard slices, so a worker's shards
+         cover a contiguous resource range too.  domains <= 0 keeps the
+         old one-domain-per-shard behaviour. *)
+      let workers_n =
+        if cfg.domains <= 0 then shards_n
+        else max 1 (min cfg.domains shards_n)
+      in
+      let wstride = (shards_n + workers_n - 1) / workers_n in
+      let workers_n = (shards_n + wstride - 1) / wstride in
       Obs.Metrics.set t.io_m "serve.shards" (float_of_int shards_n);
+      Obs.Metrics.set t.io_m "serve.domains" (float_of_int workers_n);
       let tick_source =
         match cfg.tick with
-        | `Every dt -> Shard.Every dt
-        | `Manual -> Shard.Manual t.tick_target
+        | `Every dt -> Worker.Every dt
+        | `Manual -> Worker.Manual t.tick_target
       in
-      let shard_domains =
-        Array.to_list
-          (Array.map
-             (fun s ->
-                Domain.spawn (fun () ->
-                    Shard.run s ~tick:tick_source ~draining:t.draining))
-             shards)
+      let worker_domains =
+        List.init workers_n (fun w ->
+            let lo = w * wstride in
+            let hi = min shards_n (lo + wstride) in
+            let slice = Array.sub shards lo (hi - lo) in
+            Domain.spawn (fun () ->
+                Worker.run ~shards:slice ~tick:tick_source
+                  ~draining:t.draining))
       in
       let io_domain = Domain.spawn (fun () -> io_loop t) in
-      t.domains <- io_domain :: shard_domains;
+      t.domains <- io_domain :: worker_domains;
       Ok t
   end
 
 let drain t = Atomic.set t.draining true
 let finished t = Atomic.get t.finished
 let n_shards t = Array.length t.shards
+let n_domains t = max 0 (List.length t.domains - 1) (* minus the I/O domain *)
 
 let wait t =
   if not t.joined then begin

@@ -1,11 +1,13 @@
 (** The reqsched scheduling server: sharded live engines behind a
     line-protocol socket.
 
-    Architecture (DESIGN.md §4.8): one I/O domain owns the listener and
-    every client socket (nonblocking, [select]-driven) and applies
-    admission control; [shards] worker domains each own a contiguous
-    slice of the resource space and a {!Sched.Engine.Live} engine they
-    step on a round ticker.  Requests are routed to the shard owning
+    Architecture (DESIGN.md §4.8, §4.13): one I/O domain owns the
+    listener and every client socket (nonblocking, [select]-driven)
+    and applies admission control; [domains] worker domains each drive
+    a contiguous slice of the [shards] shards, each of which owns a
+    contiguous slice of the resource space and a {!Sched.Engine.Live}
+    engine stepped on a round ticker.  Requests are routed to the shard
+    owning
     their first alternative through a bounded inbox — a full inbox is an
     immediate, explicit [overload] reject, never a silent drop.  A
     [batch] wire line is admitted with one grouped inbox push per shard
@@ -38,6 +40,11 @@ type config = {
   d : int;                 (** nominal deadline; per-request deadlines
                                above it are rejected as invalid *)
   shards : int;            (** clamped to [1 .. n_resources] *)
+  domains : int;           (** worker domains stepping the shards,
+                               clamped to [1 .. shards]; [<= 0] means
+                               one domain per shard (the pre-[--domains]
+                               behaviour).  Manual-tick decisions are
+                               byte-identical at any domain count. *)
   strategy : shard:int -> metrics:Obs.Metrics.t -> Sched.Strategy.factory;
       (** per-shard factory, so randomised strategies can be seeded per
           shard instead of sharing state across domains.  [metrics] is
@@ -87,3 +94,7 @@ val wait : t -> Obs.Metrics.snapshot
 
 val n_shards : t -> int
 (** Actual shard count after clamping. *)
+
+val n_domains : t -> int
+(** Actual worker-domain count after clamping (the I/O domain is not
+    counted). *)

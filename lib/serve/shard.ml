@@ -1,13 +1,15 @@
 (* One scheduling shard: a slice [lo, hi) of the resource space, a
-   bounded inbox, and a live engine stepped by a round ticker.
+   bounded inbox, and a live engine stepped by a worker domain.
 
-   The shard is the only consumer of its inbox and the only writer of
-   its engine, so everything here is single-threaded; the inbox and the
-   shared outbox are the only synchronisation points.  Shard-local
-   metrics live in a private registry (uncontended) that the server
-   merges after the domain exits. *)
+   The owning worker is the only consumer of the inbox and the only
+   writer of the engine, and the I/O domain is the only producer of the
+   inbox and the only consumer of the outbox, so both channels run on
+   the SPSC fast path and everything else here is single-threaded.
+   Shard-local metrics live in a private registry (uncontended) that
+   the server merges after the workers exit. *)
 
 module Live = Sched.Engine.Live
+module Pool = Prelude.Pool
 
 type task = {
   conn : int;               (* connection id, for reply routing *)
@@ -17,9 +19,11 @@ type task = {
   deadline : int;
 }
 
-type tick_source =
-  | Every of float          (* seconds between rounds *)
-  | Manual of int Atomic.t  (* step while [stepped < target] *)
+let dummy_task = { conn = -1; tag = -1; alternatives = []; deadline = 0 }
+
+(* SPSC rings allocate their full capacity eagerly; past this bound the
+   mutex flavour (which grows on demand) is the better trade. *)
+let spsc_capacity_limit = 1 lsl 16
 
 type t = {
   index : int;
@@ -29,7 +33,7 @@ type t = {
   outbox : (int * Protocol.server_msg) Chan.t; (* this shard's own ring *)
   metrics : Obs.Metrics.t;
   live : Live.t;
-  tags : (int, int * int) Hashtbl.t; (* engine id -> (conn, tag) *)
+  tags : Pool.Table.t; (* engine id -> (conn, tag), flat payload *)
   drain_buf : task array ref;        (* reusable inbox drain target *)
   stepped : int Atomic.t;
   exited : bool Atomic.t;
@@ -40,15 +44,20 @@ let create ?metrics ~index ~lo ~hi ~d ~queue_capacity ~strategy ~outbox () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
+  let inbox =
+    if queue_capacity <= spsc_capacity_limit then
+      Chan.create_spsc ~capacity:queue_capacity ~dummy:dummy_task
+    else Chan.create ~capacity:queue_capacity
+  in
   {
     index;
     lo;
     hi;
-    inbox = Chan.create ~capacity:queue_capacity;
+    inbox;
     outbox;
     metrics;
     live = Live.create ~metrics ~n:(hi - lo) ~d strategy;
-    tags = Hashtbl.create 256;
+    tags = Pool.Table.create ~capacity:256 ~width:2 ();
     drain_buf = ref [||];
     stepped = Atomic.make 0;
     exited = Atomic.make false;
@@ -60,11 +69,19 @@ let try_admit t task = Chan.try_push t.inbox task
 let try_admit_many t tasks ~off ~len = Chan.push_slice t.inbox tasks ~off ~len
 let stepped t = Atomic.get t.stepped
 let has_exited t = Atomic.get t.exited
+let mark_exited t = Atomic.set t.exited true
 let queue_depth t = Chan.length t.inbox
 
 (* Snapshot of the shard-private registry; meaningful to merge once the
    shard has exited (counters stop moving). *)
 let metrics_snapshot t = Obs.Metrics.snapshot t.metrics
+
+let note_crash t exn =
+  (* a crashing strategy must not take the server down: record, report,
+     and let the worker keep driving its other shards *)
+  Obs.Metrics.incr t.metrics "serve.shard_crashes";
+  Printf.eprintf "reqsched serve: shard %d crashed: %s\n%!" t.index
+    (Printexc.to_string exn)
 
 (* A full outbox stalls the shard (counted) until the I/O domain drains
    it — a reply is never dropped, because a lost terminal would strand
@@ -92,7 +109,7 @@ let rec localize t acc dropped = function
     if owns t a then localize t ((a - t.lo) :: acc) dropped rest
     else localize t acc (dropped + 1) rest
 
-let do_step t =
+let step_once t =
   let depth = Chan.drain_into t.inbox t.drain_buf in
   let tasks = !(t.drain_buf) in
   let t0 = Obs.Span.start () in
@@ -106,7 +123,10 @@ let do_step t =
     if dropped > 0 then
       Obs.Metrics.incr ~by:dropped t.metrics "serve.truncated_alternatives";
     match Live.submit t.live ~alternatives:local ~deadline:task.deadline with
-    | Ok id -> Hashtbl.replace t.tags id (task.conn, task.tag)
+    | Ok id ->
+      let e = Pool.Table.put t.tags id in
+      Pool.Table.setv t.tags e 0 task.conn;
+      Pool.Table.setv t.tags e 1 task.tag
     | Error m ->
       Obs.Metrics.incr t.metrics "serve.rejected.invalid";
       push_reply t task.conn
@@ -114,11 +134,14 @@ let do_step t =
   done;
   let outcome = Live.step t.live in
   let reply id msg =
-    match Hashtbl.find_opt t.tags id with
-    | Some (conn, tag) ->
-      Hashtbl.remove t.tags id;
+    let e = Pool.Table.find t.tags id in
+    if e >= 0 then begin
+      let conn = Pool.Table.getv t.tags e 0 in
+      let tag = Pool.Table.getv t.tags e 1 in
+      ignore (Pool.Table.remove t.tags id);
       push_reply t conn (msg ~tag)
-    | None -> () (* unreachable: every admitted id has a tag entry *)
+    end
+    (* e < 0 unreachable: every admitted id has a tag entry *)
   in
   List.iter
     (fun (id, resource) ->
@@ -138,61 +161,3 @@ let do_step t =
 
 let drained t ~draining =
   Atomic.get draining && Chan.length t.inbox = 0 && Live.pending t.live = 0
-
-(* The domain body.  Interval mode ticks on a drift-free schedule;
-   manual mode follows the shared target, except while draining, when
-   the shard self-ticks so in-flight requests still reach their
-   deadlines after the ticking client is gone. *)
-let run t ~tick ~draining =
-  let finally () = Atomic.set t.exited true in
-  Fun.protect ~finally (fun () ->
-      try
-        (match tick with
-         | Every dt ->
-           let start = Unix.gettimeofday () in
-           let rec loop () =
-             if not (drained t ~draining) then begin
-               let next =
-                 start +. (float_of_int (Atomic.get t.stepped + 1) *. dt)
-               in
-               let rec pace () =
-                 let remaining = next -. Unix.gettimeofday () in
-                 if remaining > 0.0 && not (drained t ~draining) then begin
-                   (try Unix.sleepf (Float.min remaining 0.01)
-                    with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-                   pace ()
-                 end
-               in
-               pace ();
-               if not (drained t ~draining) then begin
-                 do_step t;
-                 loop ()
-               end
-             end
-           in
-           loop ()
-         | Manual target ->
-           let rec loop () =
-             if not (drained t ~draining) then
-               if
-                 Atomic.get target > Atomic.get t.stepped
-                 || Atomic.get draining
-               then begin
-                 do_step t;
-                 loop ()
-               end
-               else begin
-                 (* the wait-for-tick nap bounds round latency in manual
-                    mode: keep it well under the I/O loop's busy poll *)
-                 (try Unix.sleepf 0.00005
-                  with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-                 loop ()
-               end
-           in
-           loop ())
-      with exn ->
-        (* a crashing strategy must not take the server down: record,
-           report, and let the other shards keep serving *)
-        Obs.Metrics.incr t.metrics "serve.shard_crashes";
-        Printf.eprintf "reqsched serve: shard %d crashed: %s\n%!" t.index
-          (Printexc.to_string exn))

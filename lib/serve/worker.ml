@@ -1,0 +1,111 @@
+(* A worker domain driving a slice of shards.
+
+   PR 4 gave every shard its own domain; that couples parallelism to
+   the sharding factor and oversubscribes small boxes.  Here the server
+   spawns [--domains N] workers, each owning a contiguous slice of the
+   shard array, so domain count and shard count vary independently.
+   The shards themselves stay shared-nothing — a worker is just a loop
+   that steps the engines it owns; the inbox/outbox channels remain the
+   only synchronisation points with the I/O domain.
+
+   Ticking:
+   - [Every dt]: one drift-free clock per worker (tick k fires at
+     start + k*dt), stepping every live owned shard per tick.  Pacing
+     bails out early once draining lets a shard retire, like the
+     per-shard loop used to.
+   - [Manual target]: each owned shard independently catches up to the
+     shared target (the I/O domain bumps it per wire [tick]).  No
+     explicit barrier is needed for replay determinism: the I/O domain
+     pushes a round's admissions into the inboxes before bumping the
+     target (Atomic publication orders the plain pushes before the
+     bump), and the client's round ack — sent only when the slowest
+     shard reaches the target — is the fan-in barrier that keeps
+     admission rounds identical at any domain count.  While draining,
+     shards self-tick so in-flight requests still reach their
+     deadlines after the ticking client is gone.
+
+   A crashing strategy retires its shard (counted and logged by
+   {!Shard.note_crash}) and the worker keeps driving its other shards;
+   the whole-worker protect marks any shards it owns as exited even if
+   the loop itself dies, so the server never waits forever. *)
+
+type tick_source =
+  | Every of float          (* seconds between rounds *)
+  | Manual of int Atomic.t  (* step while [stepped < target] *)
+
+let nap () =
+  try Unix.sleepf 0.00005 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let run ~shards ~tick ~draining =
+  let nsh = Array.length shards in
+  let dead = Array.make nsh false in
+  let retire i =
+    dead.(i) <- true;
+    Shard.mark_exited shards.(i)
+  in
+  let all_dead () = Array.for_all Fun.id dead in
+  (* a shard ready to retire, i.e. drained but not yet marked *)
+  let any_drained () =
+    let found = ref false in
+    for i = 0 to nsh - 1 do
+      if (not dead.(i)) && Shard.drained shards.(i) ~draining then
+        found := true
+    done;
+    !found
+  in
+  let step i =
+    if not dead.(i) then begin
+      if Shard.drained shards.(i) ~draining then retire i
+      else
+        try Shard.step_once shards.(i)
+        with exn ->
+          Shard.note_crash shards.(i) exn;
+          retire i
+    end
+  in
+  let finally () =
+    (* never leave the server waiting on a shard this worker owns *)
+    for i = 0 to nsh - 1 do
+      if not dead.(i) then retire i
+    done
+  in
+  Fun.protect ~finally (fun () ->
+      match tick with
+      | Every dt ->
+        let start = Unix.gettimeofday () in
+        let ticks = ref 0 in
+        while not (all_dead ()) do
+          let next = start +. (float_of_int (!ticks + 1) *. dt) in
+          let rec pace () =
+            let remaining = next -. Unix.gettimeofday () in
+            if remaining > 0.0 && not (any_drained ()) then begin
+              (try Unix.sleepf (Float.min remaining 0.01)
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              pace ()
+            end
+          in
+          pace ();
+          for i = 0 to nsh - 1 do
+            step i
+          done;
+          incr ticks
+        done
+      | Manual target ->
+        while not (all_dead ()) do
+          let progressed = ref false in
+          for i = 0 to nsh - 1 do
+            if not dead.(i) then begin
+              if Shard.drained shards.(i) ~draining then retire i
+              else if
+                Atomic.get target > Shard.stepped shards.(i)
+                || Atomic.get draining
+              then begin
+                step i;
+                progressed := true
+              end
+            end
+          done;
+          (* the wait-for-tick nap bounds round latency in manual mode:
+             keep it well under the I/O loop's busy poll *)
+          if (not !progressed) && not (all_dead ()) then nap ()
+        done)

@@ -1,0 +1,31 @@
+(** A worker domain driving a contiguous slice of shards.
+
+    The server spawns [--domains N] workers; each owns a disjoint run
+    of the shard array and is the only domain that calls
+    {!Shard.step_once} on them, so domain count and shard count vary
+    independently (PR 4 hard-wired one domain per shard).
+
+    Interval mode gives each worker one drift-free clock — tick [k]
+    fires at [start + k*dt] — stepping every live owned shard per
+    tick.  Manual mode has each shard catch up to the shared target
+    independently; replay stays byte-identical at any domain count
+    because the I/O domain publishes a round's admissions before
+    bumping the target and acks the client only when the {e slowest}
+    shard reaches it (the fan-in barrier).  While draining, shards
+    self-tick so in-flight requests still reach their deadlines.
+
+    A crashing strategy retires only its shard (via
+    {!Shard.note_crash}); the worker keeps driving the rest and marks
+    everything it owns as exited on the way out, so the server never
+    waits on a dead worker. *)
+
+type tick_source =
+  | Every of float
+      (** real time: one round every so many seconds, drift-free *)
+  | Manual of int Atomic.t
+      (** logical time: step while [stepped < target]; the I/O domain
+          bumps the target on each wire [tick] *)
+
+val run :
+  shards:Shard.t array -> tick:tick_source -> draining:bool Atomic.t -> unit
+(** The domain body.  Returns once every owned shard has exited. *)

@@ -1,6 +1,7 @@
 module Request = Sched.Request
 module Strategy = Sched.Strategy
 module Warm = Graph.Warm
+module Pool = Prelude.Pool
 
 (* The warm-start incremental round kernel behind Global's strategies.
 
@@ -56,19 +57,20 @@ type t = {
   bias : Strategy.bias;
   metrics : Obs.Metrics.t option;
   warm : Warm.t;
-  (* fix family: frozen assignments, cell = (slot_round mod d)*n + res;
-     a cell is live iff occ_round stamps the exact slot round and
-     occ_id >= 0 *)
-  occ_round : int array;
-  occ_id : int array;
+  (* fix family: frozen assignments in an off-heap Bigarray arena,
+     cell = (slot_round mod d)*n + res, field 0 = round stamp, field 1 =
+     request id; a cell is live iff field 0 stamps the exact slot round
+     and field 1 >= 0 *)
+  occ : Pool.Ints.t;
   (* fix family: unmatched requests that can still meet a future column
      (window longer than d); empty under the engines' deadline <= d *)
   mutable via : Request.t array;
   mutable via_len : int;
   (* full family / current: live requests in ascending id order;
-     state -1 = unassigned, -2 = dead (served), t >= 0 = slot round *)
+     state -1 = unassigned, -2 = dead (served), t >= 0 = slot round —
+     off-heap flat scratch, compacted in the build pass *)
   mutable pool : Request.t array;
-  mutable pool_state : int array;
+  pool_state : Pool.Iarr.t;
   mutable pool_len : int;
   (* scratch: the fix-family left side of the current round *)
   mutable lefts : Request.t array;
@@ -80,14 +82,6 @@ let ensure_req a len =
   if Array.length a >= len then a
   else begin
     let a' = Array.make (max len ((2 * Array.length a) + 8)) dummy_req in
-    Array.blit a 0 a' 0 (Array.length a);
-    a'
-  end
-
-let ensure_int a len =
-  if Array.length a >= len then a
-  else begin
-    let a' = Array.make (max len ((2 * Array.length a) + 8)) (-1) in
     Array.blit a 0 a' 0 (Array.length a);
     a'
   end
@@ -125,7 +119,10 @@ let step_fix st ~round ~(arrivals : Request.t array) =
       (fun resource ->
          for slot_round = lo to hi do
            let cell = ((slot_round mod d) * n) + resource in
-           if not (st.occ_round.(cell) = slot_round && st.occ_id.(cell) >= 0)
+           if
+             not
+               (Pool.Ints.get st.occ cell 0 = slot_round
+                && Pool.Ints.get st.occ cell 1 >= 0)
            then begin
              let e =
                Warm.add_edge st.warm
@@ -155,8 +152,8 @@ let step_fix st ~round ~(arrivals : Request.t array) =
     if v >= 0 then begin
       let resource = v mod n and slot_round = round + (v / n) in
       let cell = ((slot_round mod d) * n) + resource in
-      st.occ_round.(cell) <- slot_round;
-      st.occ_id.(cell) <- r.Request.id
+      Pool.Ints.set st.occ cell 0 slot_round;
+      Pool.Ints.set st.occ cell 1 r.Request.id
     end
     else if Request.last_round r >= round + d then begin
       st.via <- ensure_req st.via (!keep + 1);
@@ -170,10 +167,12 @@ let step_fix st ~round ~(arrivals : Request.t array) =
   let serves = ref [] in
   for resource = n - 1 downto 0 do
     let cell = base + resource in
-    if st.occ_round.(cell) = round && st.occ_id.(cell) >= 0 then begin
+    if Pool.Ints.get st.occ cell 0 = round && Pool.Ints.get st.occ cell 1 >= 0
+    then begin
       serves :=
-        { Strategy.request = st.occ_id.(cell); resource } :: !serves;
-      st.occ_id.(cell) <- -1
+        { Strategy.request = Pool.Ints.get st.occ cell 1; resource }
+        :: !serves;
+      Pool.Ints.set st.occ cell 1 (-1)
     end
   done;
   List.sort serve_compare !serves
@@ -183,11 +182,11 @@ let step_fix st ~round ~(arrivals : Request.t array) =
 let pool_append st (arrivals : Request.t array) =
   let a = Array.length arrivals in
   st.pool <- ensure_req st.pool (st.pool_len + a);
-  st.pool_state <- ensure_int st.pool_state (st.pool_len + a);
+  Pool.Iarr.ensure st.pool_state (st.pool_len + a);
   Array.iter
     (fun r ->
        st.pool.(st.pool_len) <- r;
-       st.pool_state.(st.pool_len) <- -1;
+       Pool.Iarr.set st.pool_state st.pool_len (-1);
        st.pool_len <- st.pool_len + 1)
     arrivals
 
@@ -197,9 +196,10 @@ let step_current st ~round ~arrivals =
   let w = ref 0 in
   for i = 0 to st.pool_len - 1 do
     let r = st.pool.(i) in
-    if st.pool_state.(i) <> -2 && Request.last_round r >= round then begin
+    if Pool.Iarr.get st.pool_state i <> -2 && Request.last_round r >= round
+    then begin
       st.pool.(!w) <- r;
-      st.pool_state.(!w) <- -1;
+      Pool.Iarr.set st.pool_state !w (-1);
       incr w;
       ignore (Warm.add_left st.warm);
       Array.iter
@@ -217,7 +217,7 @@ let step_current st ~round ~arrivals =
   for li = st.pool_len - 1 downto 0 do
     let v = Warm.left_to st.warm li in
     if v >= 0 then begin
-      st.pool_state.(li) <- -2;
+      Pool.Iarr.set st.pool_state li (-2);
       serves :=
         { Strategy.request = st.pool.(li).Request.id; resource = v }
         :: !serves
@@ -233,10 +233,11 @@ let step_full st ~round ~arrivals =
   let w = ref 0 in
   for i = 0 to st.pool_len - 1 do
     let r = st.pool.(i) in
-    if st.pool_state.(i) <> -2 && Request.last_round r >= round then begin
-      let kept = st.pool_state.(i) >= 0 in
+    if Pool.Iarr.get st.pool_state i <> -2 && Request.last_round r >= round
+    then begin
+      let kept = Pool.Iarr.get st.pool_state i >= 0 in
       st.pool.(!w) <- r;
-      st.pool_state.(!w) <- -1;
+      Pool.Iarr.set st.pool_state !w (-1);
       incr w;
       ignore (Warm.add_left st.warm);
       let lo = max round r.Request.arrival
@@ -276,14 +277,14 @@ let step_full st ~round ~arrivals =
     if v >= 0 then begin
       let resource = v mod n and slot_round = round + (v / n) in
       if slot_round = round then begin
-        st.pool_state.(li) <- -2;
+        Pool.Iarr.set st.pool_state li (-2);
         serves :=
           { Strategy.request = st.pool.(li).Request.id; resource }
           :: !serves
       end
-      else st.pool_state.(li) <- slot_round
+      else Pool.Iarr.set st.pool_state li slot_round
     end
-    else st.pool_state.(li) <- -1
+    else Pool.Iarr.set st.pool_state li (-1)
   done;
   !serves
 
@@ -293,7 +294,15 @@ let step_core st ~round ~arrivals =
   | Current -> step_current st ~round ~arrivals
   | Eager | Balance | Remax -> step_full st ~round ~arrivals
 
-let make ~kind ~n ~d ~bias ~metrics : Strategy.t =
+let make ?(variant = Warm.Bucketed) ~kind ~n ~d ~bias ~metrics () :
+  Strategy.t =
+  let occ = Pool.Ints.create ~capacity:(n * d) ~width:2 () in
+  (* a fresh arena hands out slots 0, 1, 2, ... — slot index = cell *)
+  for _ = 1 to n * d do
+    let s = Pool.Ints.alloc occ in
+    Pool.Ints.set occ s 0 min_int;
+    Pool.Ints.set occ s 1 (-1)
+  done;
   let st =
     {
       kind;
@@ -301,13 +310,12 @@ let make ~kind ~n ~d ~bias ~metrics : Strategy.t =
       d;
       bias;
       metrics;
-      warm = Warm.create ();
-      occ_round = Array.make (n * d) min_int;
-      occ_id = Array.make (n * d) (-1);
+      warm = Warm.create ~variant ();
+      occ;
       via = [||];
       via_len = 0;
       pool = [||];
-      pool_state = [||];
+      pool_state = Pool.Iarr.create ();
       pool_len = 0;
       lefts = [||];
     }

@@ -585,6 +585,7 @@ let with_cluster_server ~nodes ~n ~d f =
       n_resources = n;
       d;
       shards = 1;
+      domains = 0;
       (* the cluster session owns the whole resource space; the server
          runs it on one shard and the router tier fans out internally *)
       strategy =

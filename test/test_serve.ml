@@ -169,6 +169,76 @@ let test_chan_concurrent () =
          (List.sort compare mine = mine))
     (List.init producers (fun _ -> ()))
 
+let test_chan_spsc_fifo_and_bound () =
+  let c = Chan.create_spsc ~capacity:3 ~dummy:0 in
+  check Alcotest.bool "push 1" true (Chan.try_push c 1);
+  check Alcotest.bool "push 2" true (Chan.try_push c 2);
+  check Alcotest.bool "push 3" true (Chan.try_push c 3);
+  check Alcotest.bool "push 4 over capacity" false (Chan.try_push c 4);
+  check Alcotest.int "length" 3 (Chan.length c);
+  check Alcotest.(list int) "fifo drain" [ 1; 2; 3 ] (Chan.drain c);
+  check Alcotest.int "empty after drain" 0 (Chan.length c);
+  check Alcotest.bool "push after drain" true (Chan.try_push c 5);
+  check Alcotest.(list int) "drained again" [ 5 ] (Chan.drain c)
+
+(* The SPSC ring against the mutex ring as oracle: any single-threaded
+   sequence of push / push_slice / drain observations must agree. *)
+let prop_chan_spsc_like_locked =
+  let op_gen =
+    QCheck.Gen.(pair (int_bound 3) (pair small_nat (int_bound 6)))
+  in
+  qtest ~count:300 "spsc flavour behaves like the mutex flavour"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 80) op_gen))
+    (fun ops ->
+       let a = Chan.create ~capacity:5 in
+       let b = Chan.create_spsc ~capacity:5 ~dummy:(-1) in
+       let buf_a = ref [||] and buf_b = ref [||] in
+       List.for_all
+         (fun (op, (v, len)) ->
+            match op with
+            | 0 -> Chan.try_push a v = Chan.try_push b v
+            | 1 -> Chan.drain a = Chan.drain b
+            | 2 ->
+              let na = Chan.drain_into a buf_a in
+              let nb = Chan.drain_into b buf_b in
+              na = nb
+              && Array.sub !buf_a 0 na = Array.sub !buf_b 0 nb
+            | _ ->
+              let arr = Array.init len (fun i -> v + i) in
+              Chan.push_slice a arr ~off:0 ~len
+              = Chan.push_slice b arr ~off:0 ~len
+              && Chan.length a = Chan.length b)
+         ops
+       && Chan.drain a = Chan.drain b)
+
+(* One producer domain, one consumer domain: nothing lost, nothing
+   duplicated, order preserved — the contract the serve path relies
+   on. *)
+let test_chan_spsc_two_domains () =
+  let total = 20_000 in
+  let c = Chan.create_spsc ~capacity:64 ~dummy:(-1) in
+  let producer =
+    Domain.spawn (fun () ->
+        for v = 0 to total - 1 do
+          while not (Chan.try_push c v) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let buf = ref [||] in
+  let seen = ref 0 and ok = ref true in
+  while !seen < total do
+    let n = Chan.drain_into c buf in
+    for i = 0 to n - 1 do
+      if !buf.(i) <> !seen + i then ok := false
+    done;
+    seen := !seen + n;
+    if n = 0 then Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check Alcotest.bool "values arrive in order, none lost" true !ok;
+  check Alcotest.int "nothing extra" 0 (Chan.length c)
+
 (* ------------------------------------------------------------------ *)
 (* address parsing *)
 
@@ -199,8 +269,9 @@ let fresh_sock_path =
 
 (* Start a server, run [f], then drain and return (f's result, final
    metrics snapshot). *)
-let with_server ?(shards = 2) ?(n = 8) ?(d = 4) ?(queue_capacity = 1024)
-    ?(max_batch = 512) ?(outbox_capacity = 4096) ?(tick = `Manual) f =
+let with_server ?(shards = 2) ?(domains = 0) ?(n = 8) ?(d = 4)
+    ?(queue_capacity = 1024) ?(max_batch = 512) ?(outbox_capacity = 4096)
+    ?(tick = `Manual) f =
   let path = fresh_sock_path () in
   let cfg =
     {
@@ -208,6 +279,7 @@ let with_server ?(shards = 2) ?(n = 8) ?(d = 4) ?(queue_capacity = 1024)
       n_resources = n;
       d;
       shards;
+      domains;
       strategy = (fun ~shard:_ ~metrics:_ -> Strategies.Global.balance ());
       tick;
       queue_capacity;
@@ -287,6 +359,43 @@ let test_e2e_replay_deterministic () =
          a b;
        check Alcotest.bool "log is non-trivial" true (String.length a > 0))
     [ 1; 2 ]
+
+(* The load-bearing property of the worker-domain rebuild: under manual
+   ticks, the decision stream and the decision-derived counters are a
+   function of the instance alone, not of how many domains step the
+   shards.  (serve.outbox_stalls is excluded — it counts backpressure
+   timing, which legitimately varies run to run.) *)
+let test_e2e_domains_invariant () =
+  let inst = random_instance ~n:8 ~d:4 ~rounds:25 ~load:1.4 ~seed:31 in
+  let run domains =
+    let r, snap =
+      with_server ~shards:4 ~domains ~n:8 ~d:4 (fun addr _ ->
+          run_open addr inst)
+    in
+    (Client.render_decisions r, snap)
+  in
+  let counters snap =
+    List.filter_map
+      (function
+        | ("serve.outbox_stalls", _) -> None
+        | (k, Obs.Metrics.Counter v) -> Some (k, v)
+        | _ -> None)
+      snap
+    |> List.sort compare
+  in
+  let base_dec, base_snap = run 1 in
+  check Alcotest.bool "log is non-trivial" true (String.length base_dec > 0);
+  List.iter
+    (fun domains ->
+       let dec, snap = run domains in
+       check Alcotest.string
+         (Printf.sprintf "decisions byte-identical at %d domain(s)" domains)
+         base_dec dec;
+       check
+         Alcotest.(list (pair string int))
+         (Printf.sprintf "merged counters identical at %d domain(s)" domains)
+         (counters base_snap) (counters snap))
+    [ 2; 4 ]
 
 let test_e2e_codec_replay_equals_original () =
   (* save the trace, reload it, and check the reloaded instance drives
@@ -523,6 +632,7 @@ let base_cfg addr =
     n_resources = 8;
     d = 4;
     shards = 2;
+    domains = 0;
     strategy = (fun ~shard:_ ~metrics:_ -> Strategies.Global.balance ());
     tick = `Manual;
     queue_capacity = 64;
@@ -583,6 +693,11 @@ let () =
           Alcotest.test_case "fifo and bound" `Quick test_chan_fifo_and_bound;
           Alcotest.test_case "concurrent producers" `Quick
             test_chan_concurrent;
+          Alcotest.test_case "spsc fifo and bound" `Quick
+            test_chan_spsc_fifo_and_bound;
+          prop_chan_spsc_like_locked;
+          Alcotest.test_case "spsc across two domains" `Quick
+            test_chan_spsc_two_domains;
         ] );
       ( "addr",
         [ Alcotest.test_case "parse" `Quick test_addr_of_string ] );
@@ -592,6 +707,8 @@ let () =
             test_e2e_exactly_one_terminal;
           Alcotest.test_case "replay deterministic" `Quick
             test_e2e_replay_deterministic;
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_e2e_domains_invariant;
           Alcotest.test_case "codec trace replays identically" `Quick
             test_e2e_codec_replay_equals_original;
           Alcotest.test_case "interval ticker" `Quick test_e2e_interval_tick;
